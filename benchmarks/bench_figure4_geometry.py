@@ -1,0 +1,24 @@
+"""Figure 4: geometry of the two-variable Multi-norm Zonotope example.
+
+Regenerates the paper's illustration data: the multi-norm region's interval
+hull (x in [-0.41, 8.41], y in [-0.41, 6.41]) strictly contains the
+classical sub-zonotope obtained by dropping the phi symbols (x in [1, 7],
+y in [1, 5]).
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure4
+
+
+def test_figure4_geometry(once):
+    result = once(run_figure4)
+    lower, upper = result["bounds"]
+    c_lower, c_upper = result["classical_bounds"]
+    np.testing.assert_allclose(lower, [4 - np.sqrt(2) - 3,
+                                       3 - np.sqrt(2) - 2])
+    np.testing.assert_allclose(upper, [4 + np.sqrt(2) + 3,
+                                       3 + np.sqrt(2) + 2])
+    np.testing.assert_allclose(c_lower, [1.0, 1.0])
+    np.testing.assert_allclose(c_upper, [7.0, 5.0])
+    assert np.all(lower < c_lower) and np.all(upper > c_upper)

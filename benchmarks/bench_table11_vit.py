@@ -1,0 +1,17 @@
+"""Table 11 (A.3): DeepT-Fast on a Vision Transformer.
+
+Paper shape: non-trivial certified pixel radii for all three norms, with
+the l1 radius largest and the l-inf radius smallest (dual-norm geometry of
+whole-image perturbations), at a few seconds per search.
+"""
+
+from repro.experiments import run_table11
+
+
+def test_table11_vit(once):
+    result = once(run_table11)
+    radii = result["results"]
+    assert result["accuracy"] > 0.5
+    for norm_name in ("l1", "l2", "linf"):
+        assert radii[norm_name]["avg"] > 0, f"no certification for {norm_name}"
+    assert radii["l1"]["avg"] > radii["l2"]["avg"] > radii["linf"]["avg"]

@@ -1,0 +1,21 @@
+"""Table 12 (A.4): the full precision-performance table incl. CROWN-BaF.
+
+Paper shape: Table 4 plus the BaF column — BaF is the fastest and the
+loosest at depth, collapsing at M=12 where all other verifiers still
+certify meaningfully.
+"""
+
+from repro.experiments import run_table12
+
+
+def test_table12_full_tradeoff(once):
+    result = once(run_table12, layers=(3, 12))
+    rows = result["rows"]
+    for row in rows:
+        fast, baf, precise, backward = row["reports"]
+        assert fast.name == "DeepT-Fast" and baf.name == "CROWN-BaF"
+        assert precise.avg_radius >= fast.avg_radius * 0.99
+    deep = next(r for r in rows if r["n_layers"] == 12)
+    fast, baf, precise, backward = deep["reports"]
+    assert fast.avg_radius > baf.avg_radius, \
+        "BaF did not collapse at depth 12"

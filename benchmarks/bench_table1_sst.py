@@ -1,0 +1,31 @@
+"""Table 1: DeepT-Fast vs CROWN-BaF on the SST-scale corpus.
+
+Paper shape: comparable radii at M=3 (ratio ~1.07), DeepT-Fast ahead at
+M=6 (~2.5x) and far ahead at M=12 (~28x); CROWN-BaF's average radius
+collapses with depth while DeepT-Fast degrades gently.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_table1_sst(once):
+    result = once(run_table1)
+    rows = result["rows"]
+    by_depth = {}
+    for row in rows:
+        by_depth.setdefault(row["n_layers"], []).append(row)
+
+    # DeepT certifies non-trivial radii at every depth.
+    for row in rows:
+        assert row["deept"].avg_radius > 0, \
+            f"DeepT certified nothing at M={row['n_layers']} {row['p']}"
+
+    # The DeepT/BaF ratio grows with depth (averaged over norms).
+    def mean_ratio(depth):
+        entries = by_depth[depth]
+        return sum(min(r["ratio"], 1e4) for r in entries) / len(entries)
+
+    assert mean_ratio(12) > mean_ratio(3), \
+        "CROWN-BaF did not degrade with depth relative to DeepT"
+    # At depth 12 DeepT is far ahead (paper: ~28x).
+    assert mean_ratio(12) > 3.0

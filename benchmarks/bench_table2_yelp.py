@@ -1,0 +1,23 @@
+"""Table 2: DeepT-Fast vs CROWN-BaF on the Yelp-scale corpus.
+
+Paper shape: same trend as Table 1 but stronger — longer sentences and a
+larger vocabulary make the baseline collapse even faster (ratio 250x at
+M=12 in the paper).
+"""
+
+from repro.experiments import run_table2
+
+
+def test_table2_yelp(once):
+    result = once(run_table2)
+    rows = result["rows"]
+    for row in rows:
+        assert row["deept"].avg_radius > 0
+
+    deep_rows = [r for r in rows if r["n_layers"] == 12]
+    shallow_rows = [r for r in rows if r["n_layers"] == 3]
+    deep_ratio = sum(min(r["ratio"], 1e4) for r in deep_rows) \
+        / len(deep_rows)
+    shallow_ratio = sum(min(r["ratio"], 1e4) for r in shallow_rows) \
+        / len(shallow_rows)
+    assert deep_ratio > shallow_ratio

@@ -1,0 +1,28 @@
+"""Table 4: the precision-performance trade-off (ℓ∞).
+
+Paper shape: DeepT-Fast is the fastest; DeepT-Precise has the highest
+average certified radius but is an order of magnitude slower;
+CROWN-Backward sits between them in both axes (and its time grows
+superlinearly with depth).
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4_tradeoff(once):
+    result = once(run_table4)
+    rows = result["rows"]
+    for row in rows:
+        fast, precise, backward = row["reports"]
+        assert fast.name == "DeepT-Fast"
+        assert precise.name == "DeepT-Precise"
+        assert backward.name == "CROWN-Backward"
+        # Precise is at least as tight as Fast and pays for it in time.
+        assert precise.avg_radius >= fast.avg_radius * 0.99
+        assert precise.seconds > fast.seconds
+
+    # CROWN-Backward slows superlinearly with depth; DeepT-Fast ~linearly.
+    t_backward = {r["n_layers"]: r["reports"][2].seconds for r in rows}
+    t_fast = {r["n_layers"]: r["reports"][0].seconds for r in rows}
+    assert t_backward[12] / max(t_backward[3], 1e-9) > \
+        t_fast[12] / max(t_fast[3], 1e-9)

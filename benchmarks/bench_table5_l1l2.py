@@ -1,0 +1,27 @@
+"""Table 5: ℓ1/ℓ2 perturbations vs CROWN-BaF and CROWN-Backward.
+
+Paper shape: DeepT-Fast beats CROWN-BaF everywhere (3.3x at M=12) while
+being close to CROWN-Backward at a fraction of the time; Backward's time
+grows superlinearly with depth.
+"""
+
+from repro.experiments import run_table5
+
+
+def test_table5_l1l2(once):
+    result = once(run_table5)
+    rows = result["rows"]
+    for row in rows:
+        fast, baf, backward = row["reports"]
+        assert fast.avg_radius > 0
+        # DeepT-Fast at least matches CROWN-BaF on average radius.
+        assert fast.avg_radius >= baf.avg_radius * 0.9, \
+            f"M={row['n_layers']} {row['p']}: BaF beat DeepT-Fast"
+        # Backward is the slow end of the spectrum.
+        assert backward.seconds > fast.seconds * 0.5
+
+    deep = [r for r in rows if r["n_layers"] == 12]
+    for row in deep:
+        fast, baf, _ = row["reports"]
+        assert fast.avg_radius > baf.avg_radius, \
+            "depth-12 advantage over BaF missing"

@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at the repro scale
+(DESIGN §5). Models are trained once and cached under ``.model_cache/`` at
+the repository root, so re-runs measure verification, not training. Runs
+print the paper-style rows; the assertions check the *shape* of the result
+(orderings and trends), not absolute numbers.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a table generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

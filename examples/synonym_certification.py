@@ -1,0 +1,72 @@
+"""Figure 1 end to end: certify a sentence against synonym attacks (T2).
+
+Builds the paper's pipeline: a sentence whose words have synonyms, an
+embedding box covering every substitution, and a single DeepT pass that
+certifies *all* combinations at once — then contrasts with enumeration,
+which has to classify each combination separately.
+
+Usage:  python examples/synonym_certification.py
+"""
+
+import time
+
+from repro.baselines import (enumerate_synonym_attack,
+                             estimate_enumeration_seconds)
+from repro.nlp import (make_corpus, make_synonym_challenge,
+                       build_synonym_attack, tie_synonym_embeddings)
+from repro.nn import TransformerClassifier, train_transformer_certified
+from repro.verify import DeepTVerifier, FAST
+
+
+def main():
+    print("== IBP certified training against the synonym boxes ==")
+    print("(the Table 8 recipe; takes a minute or two)")
+    dataset = make_corpus("sst-small", n_train=400, n_test=80, seed=1)
+    model = TransformerClassifier(len(dataset.vocab), embed_dim=16,
+                                  n_heads=2, hidden_dim=16, n_layers=3,
+                                  max_len=16)
+    tie_synonym_embeddings(model, dataset.vocab)
+
+    def synonym_box(sequence):
+        return build_synonym_attack(model, dataset.vocab,
+                                    sequence).radius * 1.3
+
+    train_transformer_certified(model, dataset.train_sequences,
+                                dataset.train_labels, synonym_box,
+                                epochs=24, warmup_epochs=3, kappa=0.3,
+                                lr=1e-3)
+
+    sequences, labels = make_synonym_challenge(dataset.vocab,
+                                               n_sentences=10, n_polar=8,
+                                               seed=3)
+    verifier = DeepTVerifier(model, FAST(noise_symbol_cap=128))
+
+    for sequence, label in zip(sequences, labels):
+        if model.predict(sequence) != int(label):
+            continue
+        attack = build_synonym_attack(model, dataset.vocab, sequence)
+        words = dataset.vocab.decode(sequence)
+        print(f"\nsentence: {' '.join(words[1:])}")
+        print(f"substitution combinations: {attack.n_combinations}")
+        for tid, subs in zip(attack.token_ids, attack.substitutions):
+            if subs:
+                names = ", ".join(dataset.vocab.token_of(s) for s in subs)
+                print(f"  {dataset.vocab.token_of(tid):<10} -> {names}")
+
+        start = time.time()
+        result = verifier.certify_synonym_attack(attack)
+        deept_seconds = time.time() - start
+        print(f"DeepT: certified={result.certified} in {deept_seconds:.2f}s"
+              f" (margin lower bound {result.margin_lower:.3f})")
+
+        partial = enumerate_synonym_attack(model, attack, budget=2000)
+        estimate = estimate_enumeration_seconds(partial)
+        print(f"enumeration: {partial.checked} combos in "
+              f"{partial.seconds:.2f}s; full enumeration would take about "
+              f"{estimate:.0f}s")
+        if result.certified:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Appendix A.3: certify a Vision Transformer against pixel perturbations.
+
+Trains a 1-layer patch-embedding Transformer on procedurally generated
+digits and certifies ℓ1/ℓ2/ℓ∞ pixel balls around test images — the pixel
+region maps exactly through the (affine) patch projection into embedding
+space, where the usual DeepT propagation runs.
+
+Usage:  python examples/vision_transformer.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import make_digit_dataset
+from repro.nn import (VisionTransformerClassifier, train_vision_transformer,
+                      evaluate_vision_transformer)
+from repro.verify import DeepTVerifier, FAST, max_certified_image_radius
+
+
+def main():
+    images, labels = make_digit_dataset(n_per_class=30, size=14, seed=0)
+    split = int(0.8 * len(images))
+    model = VisionTransformerClassifier(image_size=14, patch_size=7,
+                                        embed_dim=16, n_heads=2,
+                                        hidden_dim=32, n_layers=1,
+                                        n_classes=10, seed=0)
+    print("== training the vision transformer ==")
+    train_vision_transformer(model, images[:split], labels[:split],
+                             epochs=8, lr=2e-3)
+    accuracy = evaluate_vision_transformer(model, images[split:],
+                                           labels[split:])
+    print(f"test accuracy: {accuracy:.3f}")
+
+    verifier = DeepTVerifier(model, FAST(noise_symbol_cap=128))
+    index = next(i for i in range(split, len(images))
+                 if model.predict(images[i]) == labels[i])
+    print(f"\ncertifying test image #{index} (digit {labels[index]})")
+    for p in (1, 2, np.inf):
+        start = time.time()
+        radius = max_certified_image_radius(verifier, images[index], p,
+                                            n_iterations=8)
+        name = "inf" if p == np.inf else str(p)
+        print(f"l{name:<3}: max certified pixel radius = {radius:.4f} "
+              f"({time.time() - start:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

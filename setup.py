@@ -1,0 +1,7 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build an editable wheel. `python
+setup.py develop` installs the equivalent egg-link editable install."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Adversarial attacks: empirical upper bounds that bracket certification.
+
+For a sound verifier and a correct attack, every input satisfies
+
+    certified_radius  <=  true_robustness_radius  <=  attack_radius,
+
+so the pair brackets reality and their gap quantifies verifier looseness.
+"""
+
+from .embedding import pgd_attack, min_adversarial_radius
+from .synonym import SynonymAttackResult, greedy_synonym_attack
+
+__all__ = ["pgd_attack", "min_adversarial_radius",
+           "SynonymAttackResult", "greedy_synonym_attack"]

@@ -1,0 +1,131 @@
+"""Adversarial attacks in embedding space (empirical upper bounds).
+
+Certification gives a *lower* bound on the robustness radius; attacks give
+an *upper* bound. Together they bracket the true radius — the sanity check
+``certified_radius <= attack_radius`` must always hold for a sound
+verifier, and the gap measures the verifier's looseness (the quantity the
+paper's precision comparisons are really about).
+
+The attack is projected gradient ascent on the cross-entropy of the true
+label, with the perturbation projected back onto the ℓp ball after every
+step (PGD, Madry et al.) — the embedding-space analogue of the FGSM-style
+attack of Behjati et al. cited in Section 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, cross_entropy
+
+__all__ = ["pgd_attack", "min_adversarial_radius"]
+
+
+def _project_lp(delta, radius, p):
+    """Project onto the ℓp ball of ``radius`` (flattened view)."""
+    flat = delta.reshape(-1)
+    if p == np.inf:
+        return np.clip(delta, -radius, radius)
+    if p == 2.0:
+        norm = np.linalg.norm(flat)
+        if norm <= radius:
+            return delta
+        return delta * (radius / norm)
+    if p == 1.0:
+        norm = np.abs(flat).sum()
+        if norm <= radius:
+            return delta
+        # Duchi et al. simplex projection of |delta| onto the l1 ball.
+        magnitudes = np.sort(np.abs(flat))[::-1]
+        cumulative = np.cumsum(magnitudes)
+        rho_candidates = magnitudes - (cumulative - radius) / np.arange(
+            1, len(flat) + 1)
+        rho = np.nonzero(rho_candidates > 0)[0][-1]
+        theta = (cumulative[rho] - radius) / (rho + 1.0)
+        projected = np.sign(flat) * np.maximum(np.abs(flat) - theta, 0.0)
+        return projected.reshape(delta.shape)
+    raise ValueError(f"unsupported p {p}")
+
+
+def _lp_step(gradient, p):
+    """Steepest-ascent direction of unit ℓp norm for the gradient."""
+    flat = gradient.reshape(-1)
+    if p == np.inf:
+        return np.sign(gradient)
+    if p == 2.0:
+        norm = np.linalg.norm(flat)
+        return gradient / max(norm, 1e-12)
+    if p == 1.0:
+        # ℓ1 steepest ascent: all mass on the largest-gradient coordinate.
+        direction = np.zeros_like(flat)
+        index = np.argmax(np.abs(flat))
+        direction[index] = np.sign(flat[index])
+        return direction.reshape(gradient.shape)
+    raise ValueError(f"unsupported p {p}")
+
+
+def pgd_attack(model, token_ids, position, radius, p, n_steps=30,
+               step_scale=0.25, true_label=None, seed=0):
+    """PGD on one word's embedding inside an ℓp ball.
+
+    Returns ``(success, adversarial_embeddings)`` — success means the
+    prediction flipped for some perturbation within the ball.
+    """
+    if true_label is None:
+        true_label = model.predict(token_ids)
+    base = model.embed_array(token_ids)
+    rng = np.random.default_rng(seed)
+    delta = _project_lp(rng.normal(size=base.shape[1]) * radius * 0.1,
+                        radius, float(p))
+    step = radius * step_scale
+    for _ in range(n_steps):
+        perturbed = base.copy()
+        perturbed[position] += delta
+        embeddings = Tensor(perturbed, requires_grad=True)
+        logits = model.forward_from_embeddings(embeddings)
+        loss = cross_entropy(logits.reshape(1, 2), [true_label])
+        loss.backward()
+        gradient = embeddings.grad[position]
+        delta = _project_lp(delta + step * _lp_step(gradient, float(p)),
+                            radius, float(p))
+        adversarial = base.copy()
+        adversarial[position] += delta
+        if np.argmax(model.logits_from_embedding_array(adversarial)) \
+                != true_label:
+            return True, adversarial
+    adversarial = base.copy()
+    adversarial[position] += delta
+    success = np.argmax(
+        model.logits_from_embedding_array(adversarial)) != true_label
+    return success, adversarial
+
+
+def min_adversarial_radius(model, token_ids, position, p, initial=0.01,
+                           n_iterations=10, n_steps=25, true_label=None):
+    """Smallest radius at which PGD finds an adversarial example.
+
+    An *upper* bound on the true robustness radius: binary search on the
+    attack radius, shrinking while the attack succeeds. If no attack
+    succeeds up to a large cap, ``inf`` is returned.
+    """
+    if true_label is None:
+        true_label = model.predict(token_ids)
+
+    def succeeds(radius):
+        success, _ = pgd_attack(model, token_ids, position, radius, p,
+                                n_steps=n_steps, true_label=true_label)
+        return success
+
+    low, high = 0.0, initial
+    cap = 1e4
+    while not succeeds(high):
+        high *= 4.0
+        if high > cap:
+            return np.inf
+    for _ in range(n_iterations):
+        mid = 0.5 * (low + high)
+        if succeeds(mid):
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,86 @@
+"""Greedy synonym-substitution attack (the Alzantot-style T2 adversary).
+
+Enumeration is the exact decision procedure for threat model T2 but grows
+exponentially; practical attacks search greedily. This module implements
+the standard importance-ranked greedy search: score each substitutable
+position by how much its best single substitution reduces the true-class
+margin, then commit substitutions in that order until the prediction flips
+or the options are exhausted.
+
+This is an *attack* (an upper-bound tool): failure to find an adversarial
+sentence proves nothing, which is exactly why the paper certifies instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SynonymAttackResult", "greedy_synonym_attack"]
+
+
+@dataclass(frozen=True)
+class SynonymAttackResult:
+    """Outcome of the greedy search."""
+
+    success: bool
+    adversarial: list
+    n_queries: int
+    n_substitutions: int
+
+
+def _margin(model, sequence, true_label):
+    logits = model.logits_from_embedding_array(
+        model.embed_array(sequence))
+    others = [logits[k] for k in range(len(logits)) if k != true_label]
+    return float(logits[true_label] - max(others))
+
+
+def greedy_synonym_attack(model, attack, true_label=None):
+    """Greedy search over the substitution sets of a ``SynonymAttack``.
+
+    Returns a :class:`SynonymAttackResult`; ``n_queries`` counts model
+    evaluations (the attack's cost measure).
+    """
+    if true_label is None:
+        true_label = model.predict(attack.token_ids)
+    current = list(attack.token_ids)
+    queries = 0
+
+    # Rank positions by the margin drop of their best substitution.
+    best_choice = {}
+    ranking = []
+    base_margin = _margin(model, current, true_label)
+    queries += 1
+    for position, substitutes in enumerate(attack.substitutions):
+        if not substitutes:
+            continue
+        drops = []
+        for substitute in substitutes:
+            trial = current.copy()
+            trial[position] = substitute
+            drops.append((_margin(model, trial, true_label), substitute))
+            queries += 1
+        margin, substitute = min(drops)
+        best_choice[position] = substitute
+        ranking.append((margin - base_margin, position))
+    ranking.sort()
+
+    substitutions = 0
+    for _, position in ranking:
+        trial = current.copy()
+        trial[position] = best_choice[position]
+        margin = _margin(model, trial, true_label)
+        queries += 1
+        if margin < _margin(model, current, true_label):
+            current = trial
+            substitutions += 1
+            queries += 1
+        if model.predict(current) != true_label:
+            return SynonymAttackResult(success=True, adversarial=current,
+                                       n_queries=queries,
+                                       n_substitutions=substitutions)
+    return SynonymAttackResult(success=False, adversarial=current,
+                               n_queries=queries,
+                               n_substitutions=substitutions)

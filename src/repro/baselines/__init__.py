@@ -1,0 +1,22 @@
+"""Baseline verifiers the paper compares DeepT against."""
+
+from .graph import Graph, Node, build_transformer_graph, interval_propagate
+from .crown import (
+    CrownVerifier, LpBallInputRegion, BoxInputRegion, BACKWARD_UNLIMITED,
+)
+from .interval import IntervalVerifier
+from .enumeration import (
+    EnumerationResult, enumerate_synonym_attack,
+    estimate_enumeration_seconds,
+)
+from .complete import BranchAndBoundVerifier
+
+__all__ = [
+    "Graph", "Node", "build_transformer_graph", "interval_propagate",
+    "CrownVerifier", "LpBallInputRegion", "BoxInputRegion",
+    "BACKWARD_UNLIMITED",
+    "IntervalVerifier",
+    "EnumerationResult", "enumerate_synonym_attack",
+    "estimate_enumeration_seconds",
+    "BranchAndBoundVerifier",
+]

@@ -1,0 +1,7 @@
+"""Synthetic datasets (offline stand-ins for MNIST)."""
+
+from .synthetic_mnist import (
+    render_digit, make_digit_dataset, make_binary_digit_dataset,
+)
+
+__all__ = ["render_digit", "make_digit_dataset", "make_binary_digit_dataset"]

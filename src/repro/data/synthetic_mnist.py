@@ -1,0 +1,85 @@
+"""Procedurally rendered digit images (offline MNIST stand-in, App. A.2/A.3).
+
+Each class has a stroke template (line segments on a unit square); samples
+apply a random affine jitter and blur, then add pixel noise. The result is a
+linearly-nonseparable but easily learnable 10-class (or 2-class) image task,
+which is all the paper's A.2/A.3 experiments need from MNIST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_digit", "make_digit_dataset", "make_binary_digit_dataset"]
+
+# Stroke templates: list of ((x0, y0), (x1, y1)) segments in [0, 1]^2.
+_TEMPLATES = {
+    0: [((0.3, 0.2), (0.7, 0.2)), ((0.7, 0.2), (0.7, 0.8)),
+        ((0.7, 0.8), (0.3, 0.8)), ((0.3, 0.8), (0.3, 0.2))],
+    1: [((0.5, 0.15), (0.5, 0.85)), ((0.35, 0.3), (0.5, 0.15))],
+    2: [((0.3, 0.25), (0.7, 0.25)), ((0.7, 0.25), (0.7, 0.5)),
+        ((0.7, 0.5), (0.3, 0.8)), ((0.3, 0.8), (0.7, 0.8))],
+    3: [((0.3, 0.2), (0.7, 0.25)), ((0.7, 0.25), (0.4, 0.5)),
+        ((0.4, 0.5), (0.7, 0.75)), ((0.7, 0.75), (0.3, 0.8))],
+    4: [((0.65, 0.15), (0.65, 0.85)), ((0.65, 0.15), (0.3, 0.6)),
+        ((0.3, 0.6), (0.75, 0.6))],
+    5: [((0.7, 0.2), (0.3, 0.2)), ((0.3, 0.2), (0.3, 0.5)),
+        ((0.3, 0.5), (0.7, 0.55)), ((0.7, 0.55), (0.65, 0.8)),
+        ((0.65, 0.8), (0.3, 0.8))],
+    6: [((0.65, 0.2), (0.35, 0.45)), ((0.35, 0.45), (0.35, 0.8)),
+        ((0.35, 0.8), (0.65, 0.8)), ((0.65, 0.8), (0.65, 0.55)),
+        ((0.65, 0.55), (0.35, 0.55))],
+    7: [((0.3, 0.2), (0.7, 0.2)), ((0.7, 0.2), (0.4, 0.85))],
+    8: [((0.5, 0.2), (0.3, 0.35)), ((0.3, 0.35), (0.7, 0.65)),
+        ((0.7, 0.65), (0.5, 0.8)), ((0.5, 0.8), (0.3, 0.65)),
+        ((0.3, 0.65), (0.7, 0.35)), ((0.7, 0.35), (0.5, 0.2))],
+    9: [((0.65, 0.45), (0.35, 0.45)), ((0.35, 0.45), (0.35, 0.2)),
+        ((0.35, 0.2), (0.65, 0.2)), ((0.65, 0.2), (0.65, 0.85))],
+}
+
+
+def render_digit(digit, size=14, rng=None, thickness=0.06, noise=0.05):
+    """Render one (size, size) grayscale image of ``digit`` in [0, 1]."""
+    if digit not in _TEMPLATES:
+        raise ValueError(f"no template for digit {digit!r}")
+    rng = rng or np.random.default_rng(0)
+    shift = rng.uniform(-0.06, 0.06, size=2)
+    scale = rng.uniform(0.85, 1.1)
+    ys, xs = np.mgrid[0:size, 0:size]
+    px = (xs + 0.5) / size
+    py = (ys + 0.5) / size
+    image = np.zeros((size, size))
+    for (x0, y0), (x1, y1) in _TEMPLATES[digit]:
+        a = (np.array([x0, y0]) - 0.5) * scale + 0.5 + shift
+        b = (np.array([x1, y1]) - 0.5) * scale + 0.5 + shift
+        d = b - a
+        seg_len2 = max(float(d @ d), 1e-9)
+        t = ((px - a[0]) * d[0] + (py - a[1]) * d[1]) / seg_len2
+        t = np.clip(t, 0.0, 1.0)
+        dist2 = (px - (a[0] + t * d[0])) ** 2 + (py - (a[1] + t * d[1])) ** 2
+        image = np.maximum(image, np.exp(-dist2 / (2 * thickness ** 2)))
+    if noise:
+        image = image + rng.normal(0.0, noise, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def make_digit_dataset(n_per_class=40, size=14, classes=range(10), seed=0):
+    """(images, labels) arrays for the requested digit classes."""
+    rng = np.random.default_rng(seed)
+    images, labels = [], []
+    for digit in classes:
+        for _ in range(n_per_class):
+            images.append(render_digit(digit, size=size, rng=rng))
+            labels.append(digit)
+    images = np.stack(images)
+    labels = np.asarray(labels)
+    order = rng.permutation(len(labels))
+    return images[order], labels[order]
+
+
+def make_binary_digit_dataset(digits=(1, 7), n_per_class=80, size=14, seed=0):
+    """Binary digit task (paper A.2 uses MNIST 1-vs-7); labels are 0/1."""
+    images, raw_labels = make_digit_dataset(
+        n_per_class=n_per_class, size=size, classes=digits, seed=seed)
+    labels = (raw_labels == digits[1]).astype(np.intp)
+    return images, labels

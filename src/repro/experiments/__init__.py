@@ -1,0 +1,22 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from .harness import (
+    ExperimentScale, SCALE, get_corpus, get_transformer,
+    evaluation_sentences, RadiusReport, radius_report_deept,
+    radius_report_crown, format_radius_row, model_cache_dir,
+)
+from .tables import (
+    run_table1, run_table2, run_table3, run_table4, run_table5, run_table6,
+    run_table7, run_table8, run_table9, run_table10, run_table11,
+    run_table12, run_table13, run_table14, run_figure4,
+)
+
+__all__ = [
+    "ExperimentScale", "SCALE", "get_corpus", "get_transformer",
+    "evaluation_sentences", "RadiusReport", "radius_report_deept",
+    "radius_report_crown", "format_radius_row", "model_cache_dir",
+    "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+    "run_table6", "run_table7", "run_table8", "run_table9", "run_table10",
+    "run_table11", "run_table12", "run_table13", "run_table14",
+    "run_figure4",
+]

@@ -1,0 +1,41 @@
+"""Command-line entry point: regenerate paper tables.
+
+Usage::
+
+    python -m repro.experiments            # run everything (slow)
+    python -m repro.experiments 1 4 13     # run selected tables
+    python -m repro.experiments figure4    # the Figure 4 geometry data
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import tables
+
+_RUNNERS = {
+    "1": tables.run_table1, "2": tables.run_table2, "3": tables.run_table3,
+    "4": tables.run_table4, "5": tables.run_table5, "6": tables.run_table6,
+    "7": tables.run_table7, "8": tables.run_table8, "9": tables.run_table9,
+    "10": tables.run_table10, "11": tables.run_table11,
+    "12": tables.run_table12, "13": tables.run_table13,
+    "14": tables.run_table14, "figure4": tables.run_figure4,
+}
+
+
+def main(argv=None):
+    """Run the selected experiment runners; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    selected = argv or sorted(_RUNNERS, key=lambda k: (len(k), k))
+    unknown = [key for key in selected if key not in _RUNNERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"choose from {sorted(_RUNNERS)}")
+        return 1
+    for key in selected:
+        _RUNNERS[key]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

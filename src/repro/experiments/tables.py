@@ -1,0 +1,574 @@
+"""Runners regenerating every table of the paper's evaluation.
+
+Each ``run_tableN`` function executes the experiment at the repro scale
+(DESIGN §5), prints rows in the paper's layout, and returns a structured
+dict so tests and benchmarks can assert on the reproduced *shape* (who
+wins, how trends move with depth) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..baselines import (CrownVerifier, BACKWARD_UNLIMITED,
+                         enumerate_synonym_attack,
+                         estimate_enumeration_seconds,
+                         BranchAndBoundVerifier)
+from ..nlp import build_synonym_attack, make_synonym_challenge
+from ..verify import DeepTVerifier, VerifierConfig, FAST, PRECISE, COMBINED
+from ..verify.radius import binary_search_radius
+from .harness import (SCALE, get_transformer, evaluation_sentences,
+                      radius_report_deept, radius_report_crown,
+                      format_radius_row)
+
+__all__ = [
+    "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+    "run_table6", "run_table7", "run_table8", "run_table9", "run_table10",
+    "run_table11", "run_table12", "run_table13", "run_table14",
+    "run_figure4",
+]
+
+
+_RESULTS_DIR = None
+
+
+def results_dir():
+    """benchmarks/results at the repository root (created on demand)."""
+    import os
+    global _RESULTS_DIR
+    if _RESULTS_DIR is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        _RESULTS_DIR = os.path.join(root, "benchmarks", "results")
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    return _RESULTS_DIR
+
+
+def _record(name):
+    """Decorator: tee a runner's printed rows into benchmarks/results/."""
+    import functools
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def runner(*args, **kwargs):
+            import contextlib
+            import io
+            import os
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                result = fn(*args, **kwargs)
+            text = buffer.getvalue()
+            print(text, end="")
+            if not os.environ.get("REPRO_NO_RECORD"):
+                with open(os.path.join(results_dir(), f"{name}.txt"),
+                          "w") as f:
+                    f.write(text)
+            return result
+
+        return runner
+
+    return wrap
+
+
+_NORMS = {"l1": 1.0, "l2": 2.0, "linf": np.inf}
+
+
+def _fast_vs_baf(preset, scale, layers, norms, divide_by_std=False,
+                 title=""):
+    """Shared engine for Tables 1, 2 and 7: DeepT-Fast vs CROWN-BaF."""
+    scale = scale or SCALE
+    rows = []
+    print(f"\n=== {title} ===")
+    print(f"{'M/lp':<10} | {'DeepT-Fast  Min/Avg/Time':>28} | "
+          f"{'CROWN-BaF  Min/Avg/Time':>28} | Ratio")
+    for n_layers in layers:
+        model, dataset, accuracy = get_transformer(
+            preset, n_layers=n_layers, scale=scale,
+            divide_by_std=divide_by_std)
+        sentences = evaluation_sentences(model, dataset, scale.n_sentences)
+        for norm_name in norms:
+            p = _NORMS[norm_name]
+            deept = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap), scale=scale,
+                name="DeepT-Fast")
+            crown = radius_report_crown(model, sentences, p,
+                                        scale.baf_depth, scale=scale,
+                                        name="CROWN-BaF")
+            ratio = deept.avg_radius / max(crown.avg_radius, 1e-12)
+            rows.append(dict(n_layers=n_layers, p=norm_name,
+                             accuracy=accuracy, deept=deept, crown=crown,
+                             ratio=ratio))
+            print(format_radius_row(f"M={n_layers} {norm_name}",
+                                    [deept, crown]) + f" | {ratio:8.2f}")
+    return {"rows": rows}
+
+
+@_record("table1")
+def run_table1(scale=None):
+    """Table 1: DeepT-Fast vs CROWN-BaF on the SST-scale corpus."""
+    return _fast_vs_baf("sst-small", scale, (3, 6, 12),
+                        ("l1", "l2", "linf"),
+                        title="Table 1: SST, certified radius (min/avg) "
+                              "and time")
+
+
+@_record("table2")
+def run_table2(scale=None):
+    """Table 2: same comparison on the Yelp-scale corpus."""
+    return _fast_vs_baf("yelp-large", scale, (3, 6, 12),
+                        ("l1", "l2", "linf"),
+                        title="Table 2: Yelp, certified radius (min/avg) "
+                              "and time")
+
+
+@_record("table3")
+def run_table3(scale=None, crown_budget_seconds=60.0):
+    """Table 3: wider networks (2x embedding, 4x hidden).
+
+    At paper scale CROWN-BaF runs out of GPU memory for the wide 12-layer
+    network; the repro analogue of that resource wall is a per-query time
+    budget — exceeding it marks the verifier as failed ("-").
+    """
+    scale = scale or SCALE
+    # Deep-and-wide models need a gentler learning rate to train at all
+    # (the default 2e-3 leaves the 12-layer wide model at chance accuracy).
+    from dataclasses import replace as _replace
+    wide_scale = _replace(scale, lr=1e-3, epochs=12)
+    wide_embed = scale.embed_dim * 2
+    wide_hidden = scale.hidden_dim * 4
+    rows = []
+    print("\n=== Table 3: wide networks "
+          f"(E={wide_embed}, H={wide_hidden}) ===")
+    for n_layers in (3, 6, 12):
+        model, dataset, accuracy = get_transformer(
+            "sst-small", n_layers=n_layers, scale=wide_scale,
+            embed_dim=wide_embed, hidden_dim=wide_hidden)
+        sentences = evaluation_sentences(model, dataset, 1)
+        for norm_name in ("l2",):
+            p = _NORMS[norm_name]
+            deept = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap), scale=scale,
+                name="DeepT-Fast")
+            # Budgeted CROWN run: a single certification probe first.
+            crown = None
+            verifier = CrownVerifier(model, backsub_depth=scale.baf_depth)
+            sequence = sentences[0]
+            start = time.perf_counter()
+            verifier.certify_word_perturbation(sequence, 1, 1e-3, p)
+            probe_seconds = time.perf_counter() - start
+            estimated = probe_seconds * 2 * scale.search_iterations
+            if estimated <= crown_budget_seconds:
+                crown = radius_report_crown(model, sentences, p,
+                                            scale.baf_depth, scale=scale,
+                                            name="CROWN-BaF")
+            if crown is None:
+                print(f"M={n_layers} {norm_name:<4}: DeepT "
+                      f"{deept.min_radius:.4f}/{deept.avg_radius:.4f} "
+                      f"({deept.seconds:.1f}s) | CROWN-BaF - (budget "
+                      f"exceeded, est {estimated:.0f}s)")
+            else:
+                ratio = deept.avg_radius / max(crown.avg_radius, 1e-12)
+                print(format_radius_row(f"M={n_layers} {norm_name}",
+                                        [deept, crown])
+                      + f" | {ratio:8.2f}")
+            rows.append(dict(n_layers=n_layers, p=norm_name,
+                             accuracy=accuracy, deept=deept, crown=crown))
+    return {"rows": rows}
+
+
+@_record("table4")
+def run_table4(scale=None, layers=(3, 6, 12), include_baf=False):
+    """Table 4 (and Table 12 with ``include_baf``): the
+    precision-performance trade-off for ℓ∞ perturbations."""
+    scale = scale or SCALE
+    rows = []
+    label = "Table 12 (A.4)" if include_baf else "Table 4"
+    print(f"\n=== {label}: precision/performance trade-off (ℓ∞) ===")
+    for n_layers in layers:
+        model, dataset, _ = get_transformer("sst-small", n_layers=n_layers,
+                                            scale=scale)
+        sentences = evaluation_sentences(model, dataset, 1)
+        reports = [radius_report_deept(
+            model, sentences, np.inf,
+            FAST(noise_symbol_cap=scale.noise_symbol_cap), scale=scale,
+            name="DeepT-Fast")]
+        if include_baf:
+            reports.append(radius_report_crown(
+                model, sentences, np.inf, scale.baf_depth, scale=scale,
+                name="CROWN-BaF"))
+        reports.append(radius_report_deept(
+            model, sentences, np.inf,
+            PRECISE(noise_symbol_cap=scale.precise_symbol_cap), scale=scale,
+            name="DeepT-Precise"))
+        reports.append(radius_report_crown(
+            model, sentences, np.inf, BACKWARD_UNLIMITED, scale=scale,
+            name="CROWN-Backward"))
+        print(format_radius_row(f"M={n_layers}", reports))
+        rows.append(dict(n_layers=n_layers, reports=reports))
+    return {"rows": rows}
+
+
+@_record("table5")
+def run_table5(scale=None, layers=(3, 6, 12)):
+    """Table 5: ℓ1/ℓ2 comparison incl. CROWN-Backward."""
+    scale = scale or SCALE
+    rows = []
+    print("\n=== Table 5: ℓ1/ℓ2 perturbations ===")
+    for n_layers in layers:
+        model, dataset, _ = get_transformer("sst-small", n_layers=n_layers,
+                                            scale=scale)
+        sentences = evaluation_sentences(model, dataset, 1)
+        for norm_name in ("l1", "l2"):
+            p = _NORMS[norm_name]
+            reports = [
+                radius_report_deept(
+                    model, sentences, p,
+                    FAST(noise_symbol_cap=scale.noise_symbol_cap),
+                    scale=scale, name="DeepT-Fast"),
+                radius_report_crown(model, sentences, p, scale.baf_depth,
+                                    scale=scale, name="CROWN-BaF"),
+                radius_report_crown(model, sentences, p, BACKWARD_UNLIMITED,
+                                    scale=scale, name="CROWN-Backward"),
+            ]
+            print(format_radius_row(f"M={n_layers} {norm_name}", reports))
+            rows.append(dict(n_layers=n_layers, p=norm_name,
+                             reports=reports))
+    return {"rows": rows}
+
+
+@_record("table6")
+def run_table6(scale=None, layers=(3, 6, 12)):
+    """Table 6: dual-norm application order (ℓ∞-first vs ℓp-first)."""
+    scale = scale or SCALE
+    rows = []
+    print("\n=== Table 6: dual-norm order in the Fast dot product ===")
+    for n_layers in layers:
+        model, dataset, _ = get_transformer("sst-small", n_layers=n_layers,
+                                            scale=scale)
+        sentences = evaluation_sentences(model, dataset, scale.n_sentences)
+        for norm_name in ("l1", "l2"):
+            p = _NORMS[norm_name]
+            first = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap,
+                     dual_norm_order="linf_first"), scale=scale,
+                name="linf-first")
+            second = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap,
+                     dual_norm_order="lp_first"), scale=scale,
+                name="lp-first")
+            change = (first.avg_radius / max(second.avg_radius, 1e-12)
+                      - 1.0) * 100.0
+            print(format_radius_row(f"M={n_layers} {norm_name}",
+                                    [first, second])
+                  + f" | {change:+6.2f} %")
+            rows.append(dict(n_layers=n_layers, p=norm_name, first=first,
+                             second=second, change_percent=change))
+    return {"rows": rows}
+
+
+@_record("table7")
+def run_table7(scale=None, layers=(3, 6)):
+    """Table 7: standard layer normalization (division by sigma).
+
+    Depth 12 is omitted at the repro scale: training the division-norm
+    12-layer model dominates single-core wall time and the paper's trend
+    (division slashing radii, DeepT leading BaF, gap growing with depth)
+    is already established by M=6.
+    """
+    return _fast_vs_baf("sst-small", scale, layers,
+                        ("l1", "l2", "linf"), divide_by_std=True,
+                        title="Table 7: standard layer normalization")
+
+
+def _challenge_attacks(model, dataset, n_sentences, n_polar, seed=0):
+    sequences, labels = make_synonym_challenge(
+        dataset.vocab, n_sentences=n_sentences, n_polar=n_polar, seed=seed)
+    attacks = []
+    for sequence, label in zip(sequences, labels):
+        if model.predict(sequence) != int(label):
+            continue  # the paper certifies correctly classified sentences
+        attacks.append(build_synonym_attack(model, dataset.vocab, sequence))
+    return attacks, len(sequences)
+
+
+@_record("table8")
+def run_table8(scale=None, n_sentences=16, n_polar=8):
+    """Table 8: synonym-attack certification rates, DeepT vs CROWN-BaF.
+
+    The model is produced by IBP certified training against each training
+    sentence's synonym box (the substitute for Xu et al.'s certified
+    training; DESIGN §2).
+    """
+    scale = scale or SCALE
+    model, dataset, accuracy = get_transformer(
+        "sst-small", n_layers=3, scale=scale, certified_training=True)
+    attacks, total = _challenge_attacks(model, dataset, n_sentences, n_polar)
+    verifier = DeepTVerifier(model,
+                             FAST(noise_symbol_cap=scale.noise_symbol_cap))
+    crown = CrownVerifier(model, backsub_depth=scale.baf_depth)
+
+    start = time.perf_counter()
+    deept_certified = sum(
+        bool(verifier.certify_synonym_attack(a)) for a in attacks)
+    deept_seconds = (time.perf_counter() - start) / max(len(attacks), 1)
+    start = time.perf_counter()
+    crown_certified = sum(
+        bool(crown.certify_synonym_attack(a)) for a in attacks)
+    crown_seconds = (time.perf_counter() - start) / max(len(attacks), 1)
+
+    combos = [a.n_combinations for a in attacks]
+    print("\n=== Table 8: synonym attack certification ===")
+    print(f"accuracy={accuracy:.3f}; {len(attacks)}/{total} sentences "
+          f"correctly classified; combinations per sentence: "
+          f"min={min(combos)}, max={max(combos)}")
+    for name, certified, seconds in (
+            ("CROWN-BaF", crown_certified, crown_seconds),
+            ("DeepT-Fast", deept_certified, deept_seconds)):
+        pct = 100.0 * certified / max(len(attacks), 1)
+        print(f"{name:<12} certified {certified}/{len(attacks)} "
+              f"({pct:.0f}%)  avg time {seconds:.2f}s/sentence")
+    return dict(accuracy=accuracy, n_attacks=len(attacks),
+                deept_certified=deept_certified,
+                crown_certified=crown_certified,
+                deept_seconds=deept_seconds, crown_seconds=crown_seconds,
+                combinations=combos)
+
+
+@_record("table9")
+def run_table9(scale=None, n_polar=8, enumeration_budget=3000):
+    """Table 9: one certified sentence in detail + enumeration gap."""
+    scale = scale or SCALE
+    model, dataset, _ = get_transformer("sst-small", n_layers=3,
+                                        scale=scale,
+                                        certified_training=True)
+    attacks, _ = _challenge_attacks(model, dataset, 12, n_polar)
+    verifier = DeepTVerifier(model,
+                             FAST(noise_symbol_cap=scale.noise_symbol_cap))
+    chosen = None
+    for attack in attacks:
+        start = time.perf_counter()
+        if verifier.certify_synonym_attack(attack):
+            chosen = (attack, time.perf_counter() - start)
+            break
+    if chosen is None:
+        print("\n=== Table 9: no certifiable sentence found ===")
+        return dict(certified=False)
+    attack, deept_seconds = chosen
+
+    partial = enumerate_synonym_attack(model, attack,
+                                       budget=enumeration_budget)
+    estimated = estimate_enumeration_seconds(partial)
+    print("\n=== Table 9: example certified sentence ===")
+    print(f"{'token':<12} {'#synonyms':>9}   synonyms")
+    for tid, subs in zip(attack.token_ids, attack.substitutions):
+        token = dataset.vocab.token_of(tid)
+        names = ", ".join(dataset.vocab.token_of(s) for s in subs)
+        print(f"{token:<12} {len(subs):>9}   {names}")
+    orders = np.log10(max(estimated / max(deept_seconds, 1e-9), 1.0))
+    print(f"combinations: {attack.n_combinations}")
+    print(f"DeepT-Fast certification: {deept_seconds:.2f}s")
+    print(f"enumeration: {partial.checked} sentences in "
+          f"{partial.seconds:.2f}s -> full enumeration est. "
+          f"{estimated:.1f}s ({orders:.1f} orders of magnitude slower)")
+    return dict(certified=True, combinations=attack.n_combinations,
+                deept_seconds=deept_seconds,
+                enumeration_estimate=estimated,
+                orders_of_magnitude=float(orders))
+
+
+@_record("table10")
+def run_table10(scale=None, n_images=4, node_limit=400):
+    """Table 10 (A.2): Multi-norm Zonotope vs the complete verifier."""
+    from ..data import make_binary_digit_dataset
+    from ..nn import MLPClassifier, train_mlp, evaluate_mlp
+    from ..verify.mlp import MlpZonotopeVerifier
+
+    images, labels = make_binary_digit_dataset(n_per_class=60, size=14,
+                                               seed=0)
+    features = images.reshape(len(images), -1)
+    model = MLPClassifier(features.shape[1], [10, 50, 10], n_classes=2,
+                          seed=0)
+    train_mlp(model, features[:80], labels[:80], epochs=30, lr=2e-3)
+    accuracy = evaluate_mlp(model, features[80:], labels[80:])
+
+    zonotope = MlpZonotopeVerifier(model)
+    complete = BranchAndBoundVerifier(model, node_limit=node_limit)
+    rows = []
+    for index in range(80, 80 + n_images):
+        x = features[index]
+        start = time.perf_counter()
+        r_zonotope = zonotope.max_certified_radius(x, 2, n_iterations=8)
+        t_zonotope = time.perf_counter() - start
+        start = time.perf_counter()
+        r_complete = complete.max_certified_radius(x, 2, n_iterations=6)
+        t_complete = time.perf_counter() - start
+        rows.append(dict(zonotope_radius=r_zonotope,
+                         complete_radius=r_complete,
+                         zonotope_seconds=t_zonotope,
+                         complete_seconds=t_complete))
+    z_radii = [r["zonotope_radius"] for r in rows]
+    c_radii = [r["complete_radius"] for r in rows]
+    print("\n=== Table 10 (A.2): FC net, ℓ2, complete vs zonotope ===")
+    print(f"accuracy={accuracy:.3f}")
+    print(f"{'verifier':<22} {'Min':>8} {'Avg':>8} {'Time[s]':>9}")
+    print(f"{'Complete (BnB)':<22} {min(c_radii):>8.3f} "
+          f"{np.mean(c_radii):>8.3f} "
+          f"{sum(r['complete_seconds'] for r in rows):>9.2f}")
+    print(f"{'DeepT (zonotope)':<22} {min(z_radii):>8.3f} "
+          f"{np.mean(z_radii):>8.3f} "
+          f"{sum(r['zonotope_seconds'] for r in rows):>9.2f}")
+    return dict(accuracy=accuracy, rows=rows)
+
+
+@_record("table11")
+def run_table11(scale=None, n_images=3):
+    """Table 11 (A.3): DeepT-Fast on a Vision Transformer."""
+    from ..data import make_digit_dataset
+    from ..nn import (VisionTransformerClassifier, train_vision_transformer,
+                      evaluate_vision_transformer)
+    from ..verify import max_certified_image_radius
+
+    import os
+
+    from .harness import model_cache_dir
+
+    scale = scale or SCALE
+    images, labels = make_digit_dataset(n_per_class=60, size=14, seed=0)
+    split = int(0.85 * len(images))
+    model = VisionTransformerClassifier(image_size=14, patch_size=7,
+                                        embed_dim=24, n_heads=2,
+                                        hidden_dim=48, n_layers=1,
+                                        n_classes=10, seed=0)
+    cache_path = os.path.join(model_cache_dir(), "vit_table11.npz")
+    if os.path.exists(cache_path):
+        archive = np.load(cache_path)
+        model.load_state_dict({k: archive[k] for k in archive.files})
+    else:
+        train_vision_transformer(model, images[:split], labels[:split],
+                                 epochs=20, lr=2e-3)
+        np.savez(cache_path, **model.state_dict())
+    accuracy = evaluate_vision_transformer(model, images[split:],
+                                           labels[split:])
+    verifier = DeepTVerifier(model,
+                             FAST(noise_symbol_cap=scale.noise_symbol_cap))
+    chosen = [i for i in range(split, len(images))
+              if model.predict(images[i]) == labels[i]][:n_images]
+    results = {}
+    print("\n=== Table 11 (A.3): Vision Transformer, certified radii ===")
+    print(f"accuracy={accuracy:.3f}")
+    for norm_name, p in _NORMS.items():
+        radii, start = [], time.perf_counter()
+        for index in chosen:
+            radii.append(max_certified_image_radius(
+                verifier, images[index], p,
+                n_iterations=scale.search_iterations))
+        seconds = time.perf_counter() - start
+        results[norm_name] = dict(min=min(radii),
+                                  avg=float(np.mean(radii)),
+                                  seconds=seconds)
+        print(f"{norm_name:<5} Min={min(radii):.4f} "
+              f"Avg={np.mean(radii):.4f} Time={seconds:.1f}s")
+    return dict(accuracy=accuracy, results=results)
+
+
+@_record("table12")
+def run_table12(scale=None, layers=(3, 6, 12)):
+    """Table 12 (A.4): Table 4 plus the CROWN-BaF column."""
+    return run_table4(scale=scale, layers=layers, include_baf=True)
+
+
+@_record("table13")
+def run_table13(scale=None, layers=(3, 6, 12)):
+    """Table 13 (A.5): softmax-sum refinement ablation."""
+    scale = scale or SCALE
+    rows = []
+    print("\n=== Table 13 (A.5): softmax-sum refinement ===")
+    for n_layers in layers:
+        model, dataset, _ = get_transformer("sst-small", n_layers=n_layers,
+                                            scale=scale)
+        sentences = evaluation_sentences(model, dataset, scale.n_sentences)
+        for norm_name in ("l1", "l2", "linf"):
+            p = _NORMS[norm_name]
+            with_ref = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap,
+                     softmax_sum_refinement=True), scale=scale,
+                name="with")
+            without = radius_report_deept(
+                model, sentences, p,
+                FAST(noise_symbol_cap=scale.noise_symbol_cap,
+                     softmax_sum_refinement=False), scale=scale,
+                name="without")
+            change = (with_ref.avg_radius / max(without.avg_radius, 1e-12)
+                      - 1.0) * 100.0
+            print(format_radius_row(f"M={n_layers} {norm_name}",
+                                    [with_ref, without])
+                  + f" | {change:+6.2f} %")
+            rows.append(dict(n_layers=n_layers, p=norm_name,
+                             with_refinement=with_ref,
+                             without_refinement=without,
+                             change_percent=change))
+    return {"rows": rows}
+
+
+@_record("table14")
+def run_table14(scale=None, layers=(6, 12)):
+    """Table 14 (A.6): combined Fast+Precise vs CROWN-Backward (ℓ∞)."""
+    scale = scale or SCALE
+    rows = []
+    print("\n=== Table 14 (A.6): combined DeepT verifier ===")
+    for n_layers in layers:
+        model, dataset, _ = get_transformer("sst-small", n_layers=n_layers,
+                                            scale=scale)
+        sentences = evaluation_sentences(model, dataset, 1)
+        combined = radius_report_deept(
+            model, sentences, np.inf,
+            COMBINED(noise_symbol_cap=scale.noise_symbol_cap,
+                     last_layer_cap=scale.precise_symbol_cap), scale=scale,
+            name="Combined DeepT")
+        backward = radius_report_crown(model, sentences, np.inf,
+                                       BACKWARD_UNLIMITED, scale=scale,
+                                       name="CROWN-Backward")
+        print(format_radius_row(f"M={n_layers}", [combined, backward]))
+        rows.append(dict(n_layers=n_layers, combined=combined,
+                         backward=backward))
+    return {"rows": rows}
+
+
+@_record("figure4")
+def run_figure4(n_samples=4000, seed=0):
+    """Figure 4: geometry of a 2-variable Multi-norm Zonotope.
+
+    Reconstructs the paper's example — x = 4 + phi1 + phi2 - eps1 + 2 eps2,
+    y = 3 + phi1 + phi2 + eps1 + eps2 with ||phi||_2 <= 1 — and reports the
+    interval bounds, sampled area, and the classical sub-zonotope obtained
+    by dropping the phi symbols.
+    """
+    from ..zonotope import MultiNormZonotope
+
+    center = np.array([4.0, 3.0])
+    phi = np.array([[1.0, 1.0], [1.0, 1.0]])
+    eps = np.array([[-1.0, 1.0], [2.0, 1.0]])
+    zonotope = MultiNormZonotope(center, phi=phi, eps=eps, p=2.0)
+    classical = MultiNormZonotope(center, eps=eps, p=2.0)
+
+    rng = np.random.default_rng(seed)
+    points = zonotope.sample(rng, n=n_samples)
+    lower, upper = zonotope.bounds()
+    c_lower, c_upper = classical.bounds()
+    print("\n=== Figure 4: Multi-norm Zonotope geometry ===")
+    print(f"multi-norm bounds: x in [{lower[0]:.2f}, {upper[0]:.2f}], "
+          f"y in [{lower[1]:.2f}, {upper[1]:.2f}]")
+    print(f"classical (phi dropped): x in [{c_lower[0]:.2f}, "
+          f"{c_upper[0]:.2f}], y in [{c_lower[1]:.2f}, {c_upper[1]:.2f}]")
+    hull = (points.min(axis=0), points.max(axis=0))
+    print(f"sampled hull: x in [{hull[0][0]:.2f}, {hull[1][0]:.2f}], "
+          f"y in [{hull[0][1]:.2f}, {hull[1][1]:.2f}]")
+    return dict(bounds=(lower, upper), classical_bounds=(c_lower, c_upper),
+                points=points)

@@ -1,0 +1,15 @@
+"""NLP substrate: vocabulary, synthetic sentiment corpora, synonym attacks."""
+
+from .vocab import Vocabulary, CLS_TOKEN, PAD_TOKEN, UNK_TOKEN
+from .synthetic import (SentimentDataset, make_corpus, CORPUS_PRESETS,
+                        make_synonym_challenge)
+from .synonyms import (SynonymAttack, build_synonym_attack,
+                       combination_count, tie_synonym_embeddings)
+
+__all__ = [
+    "Vocabulary", "CLS_TOKEN", "PAD_TOKEN", "UNK_TOKEN",
+    "SentimentDataset", "make_corpus", "CORPUS_PRESETS",
+    "make_synonym_challenge",
+    "SynonymAttack", "build_synonym_attack", "combination_count",
+    "tie_synonym_embeddings",
+]

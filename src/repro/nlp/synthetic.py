@@ -1,0 +1,142 @@
+"""Synthetic sentiment corpora (offline stand-ins for SST and Yelp).
+
+A sentence is a [CLS]-prefixed mix of polarity-bearing words (drawn from the
+positive/negative synonym groups of the :class:`Vocabulary`) and neutral
+filler. The label is the dominant polarity. Synonyms within a group are
+sampled interchangeably, so a trained embedding places them close together —
+the geometric premise of the synonym threat model (Section 2, Figure 1).
+
+Two presets mirror the paper's dataset contrast:
+
+* ``sst-small``  — short sentences, small vocabulary (SST stand-in),
+* ``yelp-large`` — longer sentences, larger vocabulary (Yelp stand-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["SentimentDataset", "make_corpus", "CORPUS_PRESETS",
+           "make_synonym_challenge"]
+
+CORPUS_PRESETS = {
+    "sst-small": dict(n_positive_groups=10, n_negative_groups=10,
+                      n_neutral_words=24, group_size=4,
+                      min_len=4, max_len=10, n_polar_range=(2, 4)),
+    "yelp-large": dict(n_positive_groups=16, n_negative_groups=16,
+                       n_neutral_words=40, group_size=5,
+                       min_len=8, max_len=13, n_polar_range=(3, 6)),
+}
+
+
+@dataclass
+class SentimentDataset:
+    """A labelled corpus plus the vocabulary that generated it."""
+
+    vocab: Vocabulary
+    train_sequences: list = field(default_factory=list)
+    train_labels: np.ndarray = None
+    test_sequences: list = field(default_factory=list)
+    test_labels: np.ndarray = None
+    train_tokens: list = field(default_factory=list)
+    test_tokens: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.train_sequences) + len(self.test_sequences)
+
+
+def _generate_sentence(vocab, label, rng, min_len, max_len, n_polar_range):
+    """One token list with the requested polarity label (0=neg, 1=pos)."""
+    length = int(rng.integers(min_len, max_len + 1))
+    n_polar = int(rng.integers(*n_polar_range, endpoint=True))
+    n_polar = min(n_polar, length)
+    # A little label noise keeps the task non-degenerate: one slot may carry
+    # the opposite polarity.
+    n_opposite = 1 if (n_polar >= 3 and rng.random() < 0.3) else 0
+    own_groups = (vocab.positive_groups if label == 1
+                  else vocab.negative_groups)
+    other_groups = (vocab.negative_groups if label == 1
+                    else vocab.positive_groups)
+
+    words = []
+    for _ in range(n_polar - n_opposite):
+        group = own_groups[rng.integers(len(own_groups))]
+        words.append(group[rng.integers(len(group))])
+    for _ in range(n_opposite):
+        group = other_groups[rng.integers(len(other_groups))]
+        words.append(group[rng.integers(len(group))])
+    while len(words) < length:
+        words.append(vocab.neutral_words[rng.integers(len(vocab.neutral_words))])
+    rng.shuffle(words)
+    return words
+
+
+def make_corpus(preset="sst-small", n_train=400, n_test=120, seed=0):
+    """Generate a :class:`SentimentDataset` from a named preset.
+
+    The paper's SST split is 67 349 / 1 821 sentences; we default far smaller
+    because the corpus only has to train small-width networks (see DESIGN §5).
+    """
+    if preset not in CORPUS_PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; "
+                         f"choose from {sorted(CORPUS_PRESETS)}")
+    cfg = dict(CORPUS_PRESETS[preset])
+    min_len = cfg.pop("min_len")
+    max_len = cfg.pop("max_len")
+    n_polar_range = cfg.pop("n_polar_range")
+    vocab = Vocabulary(**cfg)
+    rng = np.random.default_rng(seed)
+
+    def sample_split(n):
+        tokens, sequences, labels = [], [], []
+        for i in range(n):
+            label = i % 2
+            words = _generate_sentence(vocab, label, rng, min_len, max_len,
+                                       n_polar_range)
+            tokens.append(words)
+            sequences.append(vocab.encode(words))
+            labels.append(label)
+        return tokens, sequences, np.asarray(labels)
+
+    train_tokens, train_seqs, train_labels = sample_split(n_train)
+    test_tokens, test_seqs, test_labels = sample_split(n_test)
+    return SentimentDataset(
+        vocab=vocab,
+        train_sequences=train_seqs, train_labels=train_labels,
+        test_sequences=test_seqs, test_labels=test_labels,
+        train_tokens=train_tokens, test_tokens=test_tokens,
+    )
+
+
+def make_synonym_challenge(vocab, n_sentences=20, n_polar=8, n_neutral=4,
+                           seed=0):
+    """Sentences designed for the T2 experiments (Sections 6.7, Table 8/9).
+
+    Each sentence carries ``n_polar`` polarity words — every one with a full
+    synonym group — so the number of substitution combinations is
+    ``group_size ** n_polar`` (4^8 = 65 536 at the sst-small scale, matching
+    the paper's ">= 32 000 combinations" selection criterion).
+
+    Returns ``(token_id_sequences, labels)``.
+    """
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    for i in range(n_sentences):
+        label = i % 2
+        own_groups = (vocab.positive_groups if label == 1
+                      else vocab.negative_groups)
+        words = []
+        for _ in range(n_polar):
+            group = own_groups[rng.integers(len(own_groups))]
+            words.append(group[rng.integers(len(group))])
+        for _ in range(n_neutral):
+            words.append(vocab.neutral_words[
+                rng.integers(len(vocab.neutral_words))])
+        rng.shuffle(words)
+        sequences.append(vocab.encode(words))
+        labels.append(label)
+    return sequences, np.asarray(labels)

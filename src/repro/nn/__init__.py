@@ -1,0 +1,24 @@
+"""Neural-network substrate: the networks DeepT certifies."""
+
+from .layers import Module, Linear, Embedding, LayerNorm
+from .attention import AttentionHead, MultiHeadSelfAttention
+from .transformer import FeedForward, TransformerLayer, TransformerClassifier
+from .mlp import MLPClassifier
+from .vision import VisionTransformerClassifier, patchify
+from .training import (
+    train_transformer, train_transformer_certified, evaluate_transformer,
+    train_mlp, evaluate_mlp, train_vision_transformer,
+    evaluate_vision_transformer,
+)
+from .ibp import IntervalTensor, ibp_forward, worst_case_logits
+
+__all__ = [
+    "Module", "Linear", "Embedding", "LayerNorm",
+    "AttentionHead", "MultiHeadSelfAttention",
+    "FeedForward", "TransformerLayer", "TransformerClassifier",
+    "MLPClassifier", "VisionTransformerClassifier", "patchify",
+    "train_transformer", "train_transformer_certified",
+    "IntervalTensor", "ibp_forward", "worst_case_logits",
+    "evaluate_transformer", "train_mlp", "evaluate_mlp",
+    "train_vision_transformer", "evaluate_vision_transformer",
+]

@@ -1,0 +1,69 @@
+"""Multi-head self-attention exactly as in Section 3.1 / Eq. (1).
+
+Each head ``a`` has its own ``W_Q, W_K`` (E x d_k) and ``W_V`` (E x d_v); the
+head outputs are horizontally stacked and projected by ``W_0``
+((A*d_v) x E). The softmax is an integral part of the network (unlike most
+architectures, where it only appears in the loss), which is exactly what
+makes Transformer certification hard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, softmax, concatenate
+from .layers import Module, Linear
+
+__all__ = ["AttentionHead", "MultiHeadSelfAttention"]
+
+
+class AttentionHead(Module):
+    """A single self-attention head with its query/key/value projections."""
+
+    def __init__(self, embed_dim, d_k, d_v, rng=None, init_std=0.1):
+        rng = rng or np.random.default_rng(0)
+        self.d_k = d_k
+        self.w_q = Linear(embed_dim, d_k, rng=rng, init_std=init_std)
+        self.w_k = Linear(embed_dim, d_k, rng=rng, init_std=init_std)
+        self.w_v = Linear(embed_dim, d_v, rng=rng, init_std=init_std)
+
+    def forward(self, x):
+        """``x``: (N, E) sequence of embeddings; returns (N, d_v)."""
+        q = self.w_q(x)
+        k = self.w_k(x)
+        v = self.w_v(x)
+        scores = (q @ k.T) * (1.0 / np.sqrt(self.d_k))
+        weights = softmax(scores, axis=-1)
+        return weights @ v
+
+
+class MultiHeadSelfAttention(Module):
+    """``A`` attention heads followed by the output projection ``W_0``."""
+
+    def __init__(self, embed_dim, n_heads, rng=None, init_std=0.1):
+        if embed_dim % n_heads != 0:
+            raise ValueError("embed_dim must be divisible by n_heads")
+        rng = rng or np.random.default_rng(0)
+        d = embed_dim // n_heads
+        self.n_heads = n_heads
+        self.heads = [AttentionHead(embed_dim, d, d, rng=rng,
+                                    init_std=init_std)
+                      for _ in range(n_heads)]
+        self.w_o = Linear(n_heads * d, embed_dim, rng=rng, init_std=init_std)
+
+    def forward(self, x):
+        """``x``: (N, E); returns (N, E)."""
+        head_outputs = [head(x) for head in self.heads]
+        stacked = concatenate(head_outputs, axis=-1)
+        return self.w_o(stacked)
+
+    def attention_weights(self, x):
+        """Concrete softmax attention matrices, one (N, N) array per head."""
+        mats = []
+        for head in self.heads:
+            q = head.w_q(Tensor(np.asarray(x))).data
+            k = head.w_k(Tensor(np.asarray(x))).data
+            scores = (q @ k.T) / np.sqrt(head.d_k)
+            e = np.exp(scores - scores.max(axis=-1, keepdims=True))
+            mats.append(e / e.sum(axis=-1, keepdims=True))
+        return mats

@@ -1,0 +1,178 @@
+"""Differentiable interval bound propagation through the Transformer.
+
+Substrate for *certified training* — the stand-in for Xu et al.'s LiRPA
+training used by the paper's Table 8 network ("trained for certifiability").
+An interval over the input embeddings is pushed through every layer with
+interval arithmetic built from autograd ops, so the resulting worst-case
+logits are differentiable and can be trained against. A network whose IBP
+bounds are tight around the synonym boxes is, a fortiori, easy for the
+(strictly tighter) Multi-norm Zonotope to certify.
+
+All rules are standard interval arithmetic; the two Transformer-specific
+ones are
+
+* interval matrix product in center/radius form (scores and the
+  softmax-value mixing), and
+* the softmax bound in the stable form ``1 / sum_j exp(z_j - z_i)`` with
+  the favourable endpoints chosen per term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["IntervalTensor", "ibp_forward", "worst_case_logits"]
+
+
+class IntervalTensor:
+    """A pair of autograd tensors ``lower <= upper`` propagated jointly."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower, upper):
+        self.lower = lower
+        self.upper = upper
+
+    @classmethod
+    def from_radius(cls, center, radius):
+        radius = Tensor(np.asarray(radius, dtype=np.float64))
+        return cls(center - radius, center + radius)
+
+    # ----------------------------------------------------------- arithmetic
+    def add(self, other):
+        if isinstance(other, IntervalTensor):
+            return IntervalTensor(self.lower + other.lower,
+                                  self.upper + other.upper)
+        return IntervalTensor(self.lower + other, self.upper + other)
+
+    def matmul_weight(self, weight, bias=None):
+        """``x @ W (+ b)`` with a parameter matrix (sign-split, exact)."""
+        w_pos = weight.relu()
+        w_neg = -((-weight).relu())
+        lower = self.lower @ w_pos + self.upper @ w_neg
+        upper = self.upper @ w_pos + self.lower @ w_neg
+        if bias is not None:
+            lower = lower + bias
+            upper = upper + bias
+        return IntervalTensor(lower, upper)
+
+    def matmul_const(self, matrix):
+        """``x @ M`` with a constant (non-parameter) matrix."""
+        m_pos = np.maximum(matrix, 0.0)
+        m_neg = np.minimum(matrix, 0.0)
+        return IntervalTensor(self.lower @ Tensor(m_pos)
+                              + self.upper @ Tensor(m_neg),
+                              self.upper @ Tensor(m_pos)
+                              + self.lower @ Tensor(m_neg))
+
+    def scale_params(self, scale, shift):
+        """``a * x + b`` with parameter tensors (sign-split on ``a``)."""
+        a_pos = scale.relu()
+        a_neg = -((-scale).relu())
+        lower = self.lower * a_pos + self.upper * a_neg + shift
+        upper = self.upper * a_pos + self.lower * a_neg + shift
+        return IntervalTensor(lower, upper)
+
+    def relu(self):
+        return IntervalTensor(self.lower.relu(), self.upper.relu())
+
+    def tanh(self):
+        return IntervalTensor(self.lower.tanh(), self.upper.tanh())
+
+    def interval_matmul(self, other):
+        """Product of two interval matrices, center/radius form."""
+        c1 = (self.lower + self.upper) * 0.5
+        r1 = (self.upper - self.lower) * 0.5
+        c2 = (other.lower + other.upper) * 0.5
+        r2 = (other.upper - other.lower) * 0.5
+        center = c1 @ c2
+        radius = c1.abs() @ r2 + r1 @ c2.abs() + r1 @ r2
+        return IntervalTensor(center - radius, center + radius)
+
+
+def _interval_softmax(scores):
+    """Row-wise softmax bounds in the stable difference form.
+
+    upper_i = 1 / sum_k exp(lo_k - hi_i),  lower_i = 1 / sum_k
+    exp(hi_k - lo_i); both denominators include the (favourably bounded)
+    k = i term, so the results stay within (0, 1].
+    """
+    lo, hi = scores.lower, scores.upper
+    # diffs[i, j, k] = lo[i, k] - hi[i, j] for the upper bound. Exponents
+    # are clamped to +-40 so training gradients never overflow. The +40 cap
+    # shrinks the upper bound's denominator (sound); on the lower bound it
+    # can only matter when the bound is already <= exp(-40) ~ 4e-18, i.e.
+    # the slack it introduces is below every tolerance used here. The -40
+    # floor perturbs either bound by at most N * exp(-40) likewise.
+    lo3 = lo.reshape(lo.shape[0], 1, lo.shape[1])
+    hi3 = hi.reshape(hi.shape[0], hi.shape[1], 1)
+    upper = 1.0 / (lo3 - hi3).clamp(-40.0, 40.0).exp().sum(axis=2)
+    hi3b = hi.reshape(hi.shape[0], 1, hi.shape[1])
+    lo3b = lo.reshape(lo.shape[0], lo.shape[1], 1)
+    lower = 1.0 / (hi3b - lo3b).clamp(-40.0, 40.0).exp().sum(axis=2)
+    return IntervalTensor(lower, upper)
+
+
+def _interval_layer_norm(x, norm):
+    dim = x.lower.shape[-1]
+    center_matrix = np.eye(dim) - np.full((dim, dim), 1.0 / dim)
+    centered = x.matmul_const(center_matrix)
+    if norm.divide_by_std:
+        raise NotImplementedError(
+            "certified training supports the paper's no-division norm")
+    return centered.scale_params(norm.gamma, norm.beta)
+
+
+def _interval_attention(x, attention):
+    head_outputs = []
+    for head in attention.heads:
+        queries = x.matmul_weight(head.w_q.weight, head.w_q.bias)
+        keys = x.matmul_weight(head.w_k.weight, head.w_k.bias)
+        values = x.matmul_weight(head.w_v.weight, head.w_v.bias)
+        keys_t = IntervalTensor(keys.lower.transpose(),
+                                keys.upper.transpose())
+        scores = queries.interval_matmul(keys_t)
+        scale = 1.0 / np.sqrt(head.d_k)
+        scores = IntervalTensor(scores.lower * scale, scores.upper * scale)
+        weights = _interval_softmax(scores)
+        head_outputs.append(weights.interval_matmul(values))
+    from ..autograd import concatenate
+    stacked = IntervalTensor(
+        concatenate([h.lower for h in head_outputs], axis=-1),
+        concatenate([h.upper for h in head_outputs], axis=-1))
+    return stacked.matmul_weight(attention.w_o.weight, attention.w_o.bias)
+
+
+def ibp_forward(model, embeddings, radius):
+    """Interval forward pass: logits interval from an embedding box.
+
+    ``embeddings`` is the (N, E) autograd tensor of clean embeddings (so
+    gradients reach the embedding table), ``radius`` an (N, E) constant
+    array of per-coordinate half-widths.
+    """
+    x = IntervalTensor.from_radius(embeddings, radius)
+    for layer in model.layers:
+        attended = _interval_attention(x, layer.attention)
+        x = _interval_layer_norm(x.add(attended), layer.norm1)
+        hidden = x.matmul_weight(layer.ffn.fc1.weight, layer.ffn.fc1.bias)
+        ffn = hidden.relu().matmul_weight(layer.ffn.fc2.weight,
+                                          layer.ffn.fc2.bias)
+        x = _interval_layer_norm(x.add(ffn), layer.norm2)
+    pooled = IntervalTensor(x.lower[0], x.upper[0])
+    pooled = pooled.matmul_weight(model.pool.weight, model.pool.bias).tanh()
+    return pooled.matmul_weight(model.classifier.weight,
+                                model.classifier.bias)
+
+
+def worst_case_logits(logits_interval, label):
+    """Adversarial logits: the true class at its lower bound, the rest at
+    their upper bounds — the standard IBP training objective."""
+    from ..autograd import stack
+    rows = []
+    n_classes = logits_interval.lower.shape[-1]
+    for k in range(n_classes):
+        rows.append(logits_interval.lower[k] if k == label
+                    else logits_interval.upper[k])
+    return stack(rows, axis=0)

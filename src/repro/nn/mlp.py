@@ -1,0 +1,43 @@
+"""Fully-connected ReLU networks (Appendix A.2 substrate).
+
+The paper's A.2 experiment certifies a small feed-forward ReLU classifier on
+MNIST digits 1-vs-7 (hidden sizes 10, 50, 10) and compares the Multi-norm
+Zonotope against the complete verifier GeoCert. This module provides the
+network; the complete-verifier stand-in lives in ``repro.baselines.complete``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from .layers import Module, Linear
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(Module):
+    """Feed-forward ReLU network ending in a linear layer over classes."""
+
+    def __init__(self, in_features, hidden_sizes, n_classes=2, seed=0):
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.hidden_sizes = list(hidden_sizes)
+        self.n_classes = n_classes
+        sizes = [in_features] + self.hidden_sizes + [n_classes]
+        self.linears = [Linear(a, b, rng=rng) for a, b in zip(sizes, sizes[1:])]
+
+    def forward(self, x):
+        for linear in self.linears[:-1]:
+            x = linear(x).relu()
+        return self.linears[-1](x)
+
+    def predict(self, x):
+        """Predicted classes for a (batch, in_features) ndarray."""
+        with no_grad():
+            logits = self.forward(Tensor(np.asarray(x, dtype=np.float64)))
+        return np.argmax(logits.data, axis=-1)
+
+    def weights_and_biases(self):
+        """Per-layer ``(W, b)`` ndarrays with W of shape (in, out)."""
+        return [(lin.weight.data, lin.bias.data) for lin in self.linears]

@@ -1,0 +1,24 @@
+"""The DeepT verifier (core of the reproduction)."""
+
+from .config import VerifierConfig, FAST, PRECISE, COMBINED
+from .propagation import propagate_classifier
+from .regions import (
+    lp_ball_region, word_perturbation_region, synonym_attack_region,
+    image_perturbation_region,
+)
+from .verifier import DeepTVerifier, CertificationResult
+from .radius import (
+    binary_search_radius, max_certified_radius, max_certified_image_radius,
+)
+from .mlp import MlpZonotopeVerifier, propagate_mlp
+
+__all__ = [
+    "VerifierConfig", "FAST", "PRECISE", "COMBINED",
+    "propagate_classifier",
+    "lp_ball_region", "word_perturbation_region", "synonym_attack_region",
+    "image_perturbation_region",
+    "DeepTVerifier", "CertificationResult",
+    "binary_search_radius", "max_certified_radius",
+    "max_certified_image_radius",
+    "MlpZonotopeVerifier", "propagate_mlp",
+]

@@ -1,0 +1,144 @@
+"""Abstract interpretation of Transformer classifiers (Sections 4 and 5).
+
+Propagates a Multi-norm Zonotope over the input embeddings through every
+operation of a :class:`~repro.nn.TransformerClassifier` (or the
+vision variant — anything with the same layer structure), producing a
+zonotope over the two output logits.
+
+The propagation mirrors ``TransformerClassifier.forward_from_embeddings``
+operation by operation:
+
+* affine layers, residual additions and the paper's no-division layer norm
+  use the exact affine transformers (Theorem 2);
+* ``Q K^T`` and ``softmax(..) V`` use the dot-product transformer
+  (fast/precise per config);
+* the softmax uses the Section 5.2 form, optionally with the Section 5.3
+  sum refinement whose symbol tightenings are applied to every live
+  zonotope of the layer;
+* standard layer norm (Table 7 ablation) additionally needs the
+  multiplication and 1/sqrt transformers;
+* noise symbols are reduced at every layer input (Section 5.1), before the
+  residual branch is taken, so both branches share one symbol space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..zonotope import (
+    MultiNormZonotope, DotProductConfig, apply_eps_rewrites,
+    reduce_noise_symbols, relu, tanh, rsqrt, softmax as zonotope_softmax,
+    zonotope_matmul, zonotope_multiply,
+)
+from .config import VerifierConfig
+
+__all__ = ["propagate_linear", "propagate_layer_norm", "propagate_attention",
+           "propagate_feed_forward", "propagate_transformer_layer",
+           "propagate_classifier"]
+
+
+def propagate_linear(z, linear):
+    """Exact affine transformer for a :class:`repro.nn.Linear`."""
+    out = z.matmul_const(linear.weight.data)
+    if linear.bias is not None:
+        out = out + linear.bias.data
+    return out
+
+
+def propagate_layer_norm(z, norm, dot_config):
+    """Layer norm; exact for the paper's no-division variant.
+
+    The standard variant divides by the standard deviation, which needs the
+    multiplication transformer (for the squares and the final product) and
+    the 1/sqrt transformer — the extra over-approximation is what Table 7
+    measures.
+    """
+    centered = z - z.mean_vars(axis=-1, keepdims=True)
+    if norm.divide_by_std:
+        squares = zonotope_multiply(centered, centered, dot_config)
+        variance = squares.mean_vars(axis=-1, keepdims=True)
+        # The true variance is non-negative even when the multiplication
+        # transformer's abstract lower bound is not.
+        inv_std = rsqrt(variance, shift=norm.eps, assume_nonnegative=True)
+        centered = zonotope_multiply(centered, inv_std, dot_config)
+    return centered.scale(norm.gamma.data) + norm.beta.data
+
+
+def _apply_rewrites_everywhere(rewrites, zonotopes):
+    """Apply softmax-refinement symbol tightenings to live zonotopes."""
+    return [apply_eps_rewrites(z, rewrites) for z in zonotopes]
+
+
+def propagate_attention(z, attention, config, dot_config):
+    """Multi-head self-attention (Eq. 1) on an (N, E) zonotope.
+
+    Returns ``(output, x)`` where ``x`` is the (possibly rewritten) input —
+    softmax-refinement tightenings must also apply to the residual branch.
+    """
+    head_outputs = []
+    x = z
+    for head in attention.heads:
+        queries = propagate_linear(x, head.w_q)
+        keys = propagate_linear(x, head.w_k)
+        values = propagate_linear(x, head.w_v)
+        scores = zonotope_matmul(queries, keys.transpose_vars(),
+                                 dot_config).scale(1.0 / np.sqrt(head.d_k))
+        if config.softmax_sum_refinement:
+            weights, rewrites = zonotope_softmax(scores, refine_sum=True)
+            if rewrites and config.propagate_rewrites:
+                x, values, *head_outputs = _apply_rewrites_everywhere(
+                    rewrites, [x, values] + head_outputs)
+        else:
+            weights = zonotope_softmax(scores)
+        head_outputs.append(zonotope_matmul(weights, values, dot_config))
+    stacked = MultiNormZonotope.concat(head_outputs, axis=-1)
+    return propagate_linear(stacked, attention.w_o), x
+
+
+def propagate_feed_forward(z, ffn):
+    """Position-wise FFN: affine -> activation -> affine."""
+    hidden = propagate_linear(z, ffn.fc1)
+    if getattr(ffn, "activation", "relu") == "gelu":
+        from ..zonotope import gelu
+        hidden = gelu(hidden)
+    else:
+        hidden = relu(hidden)
+    return propagate_linear(hidden, ffn.fc2)
+
+
+def propagate_transformer_layer(z, layer, config, dot_config):
+    """One encoder layer: attention and FFN with residual + norm."""
+    attended, z = propagate_attention(z, layer.attention, config, dot_config)
+    z = propagate_layer_norm(z + attended, layer.norm1, dot_config)
+    z = propagate_layer_norm(z + propagate_feed_forward(z, layer.ffn),
+                             layer.norm2, dot_config)
+    return z
+
+
+def propagate_classifier(model, input_zonotope, config=None):
+    """Full abstract forward pass: embeddings zonotope -> logits zonotope.
+
+    Parameters
+    ----------
+    model:
+        A :class:`TransformerClassifier` or
+        :class:`VisionTransformerClassifier` (same layer structure).
+    input_zonotope:
+        Zonotope over the (N, E) input embeddings.
+    config:
+        :class:`VerifierConfig`; defaults to DeepT-Fast settings.
+    """
+    config = config or VerifierConfig()
+    z = input_zonotope
+    n_layers = len(model.layers)
+    for index, layer in enumerate(model.layers):
+        cap = config.cap_for_layer(index, n_layers)
+        if cap is not None:
+            z = reduce_noise_symbols(z, cap, tol=config.coeff_tol,
+                                     strategy=config.reduction_strategy)
+        dot_config = DotProductConfig(
+            variant=config.variant_for_layer(index, n_layers),
+            order=config.dual_norm_order, tol=config.coeff_tol)
+        z = propagate_transformer_layer(z, layer, config, dot_config)
+    pooled = tanh(propagate_linear(z[0], model.pool))
+    return propagate_linear(pooled, model.classifier)

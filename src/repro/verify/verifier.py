@@ -1,0 +1,95 @@
+"""The DeepT verifier: certification of Transformer classifiers.
+
+Certification (Section 3.2): propagate the input region through the network
+and check that the lower bound of ``y_true - y_false`` is positive. Binary
+classification compares the two logits; the multi-class case (the vision
+transformer) requires the margin against *every* other class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import VerifierConfig
+from .propagation import propagate_classifier
+from .regions import (word_perturbation_region, synonym_attack_region,
+                      image_perturbation_region)
+
+__all__ = ["CertificationResult", "DeepTVerifier"]
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Outcome of one certification query.
+
+    ``margin_lower`` is the certified lower bound of the worst
+    ``y_true - y_other`` margin; certification succeeds iff it is positive
+    (non-finite bounds — overflow in extreme regions — count as failure).
+    """
+
+    certified: bool
+    margin_lower: float
+    true_label: int
+
+    def __bool__(self):
+        return self.certified
+
+
+class DeepTVerifier:
+    """Certifies a Transformer classifier with Multi-norm Zonotopes.
+
+    Parameters
+    ----------
+    model:
+        :class:`TransformerClassifier` or
+        :class:`VisionTransformerClassifier`.
+    config:
+        :class:`VerifierConfig` (DeepT-Fast defaults).
+    """
+
+    def __init__(self, model, config=None):
+        self.model = model
+        self.config = config or VerifierConfig()
+
+    # ------------------------------------------------------------ primitives
+    def certify_region(self, region, true_label):
+        """Certify that every point of ``region`` classifies as
+        ``true_label``."""
+        logits = propagate_classifier(self.model, region, self.config)
+        lower, upper = logits.bounds()
+        margins = []
+        for other in range(len(lower)):
+            if other == true_label:
+                continue
+            margin = (logits[true_label] - logits[other]).bounds()[0]
+            margins.append(float(margin))
+        worst = min(margins)
+        certified = bool(np.isfinite(worst) and worst > 0)
+        return CertificationResult(certified=certified, margin_lower=worst,
+                                   true_label=true_label)
+
+    # -------------------------------------------------------------- T1 / T2
+    def certify_word_perturbation(self, token_ids, position, radius, p,
+                                  true_label=None):
+        """T1: certify an ℓp ball around one word's embedding."""
+        if true_label is None:
+            true_label = self.model.predict(token_ids)
+        region = word_perturbation_region(self.model, token_ids, position,
+                                          radius, p)
+        return self.certify_region(region, true_label)
+
+    def certify_synonym_attack(self, attack, true_label=None):
+        """T2: certify the embedding box covering all synonym choices."""
+        if true_label is None:
+            true_label = self.model.predict(attack.token_ids)
+        region = synonym_attack_region(attack)
+        return self.certify_region(region, true_label)
+
+    def certify_image_perturbation(self, image, radius, p, true_label=None):
+        """Vision (A.3): certify an ℓp pixel ball around an image."""
+        if true_label is None:
+            true_label = self.model.predict(image)
+        region = image_perturbation_region(self.model, image, radius, p)
+        return self.certify_region(region, true_label)

@@ -1,0 +1,266 @@
+"""Dot-product and multiplication abstract transformers (Sections 4.8, 4.9).
+
+The self-attention needs products of *pairs of zonotope variables*: the
+``Q K^T`` score matrix and the ``softmax(..) V`` mixing step. For
+``v1 = c1 + A1.phi + B1.eps`` and ``v2 = c2 + A2.phi + B2.eps`` (vectors of
+variables sharing noise symbols), the dot product expands into
+
+* an exact affine part    ``c1.c2 + (c1^T A2 + c2^T A1).phi + (...).eps``,
+* a quadratic interaction ``(A1.phi + B1.eps) . (A2.phi + B2.eps)``
+
+whose four symbol-pair cases are bounded by intervals and folded into a
+center shift plus one fresh eps symbol per output variable.
+
+Two bounding strategies are provided:
+
+``fast``     the dual-norm cascade of Eq. (5): O(N (Ep + Einf)); applies to
+             every case; the bound is not symmetric in the operands, and the
+             ``order`` flag selects which norm the dual trick hits first for
+             the mixed phi/eps cases (Table 6 ablates this; ℓ∞-first is the
+             paper's default).
+``precise``  the pairwise interval analysis of Eq. (6) for the eps-eps case
+             only: O(N Einf^2), exploiting eps_i^2 in [0, 1]; the mixed and
+             phi-phi cases still use the fast bound. This is the
+             DeepT-Precise dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
+
+__all__ = ["zonotope_matmul", "zonotope_multiply", "DotProductConfig"]
+
+
+class DotProductConfig:
+    """Options for the dot-product transformer.
+
+    Parameters
+    ----------
+    variant:
+        ``"fast"`` (DeepT-Fast) or ``"precise"`` (DeepT-Precise eps-eps
+        bound).
+    order:
+        ``"linf_first"`` applies the dual-norm trick to the ℓ∞-norm symbols
+        first in the mixed phi/eps cases (paper default, Section 6.5);
+        ``"lp_first"`` is the opposite order.
+    tol:
+        Quadratic-term magnitudes below this get no fresh noise symbol.
+    """
+
+    def __init__(self, variant="fast", order="linf_first", tol=0.0):
+        if variant not in ("fast", "precise"):
+            raise ValueError(f"unknown dot-product variant {variant!r}")
+        if order not in ("linf_first", "lp_first"):
+            raise ValueError(f"unknown dual-norm order {order!r}")
+        self.variant = variant
+        self.order = order
+        self.tol = tol
+
+
+def _fast_case_bound(inner_coeffs, inner_q, outer_coeffs, outer_q, pattern):
+    """Eq. (5) bound for one symbol-pair case, batched over output pairs.
+
+    ``inner_coeffs`` plays W (collapsed first with its dual norm
+    ``inner_q``), ``outer_coeffs`` plays V (collapsed second with
+    ``outer_q``). ``pattern`` names the einsum contraction:
+
+    * ``"row-col"``: outputs (n, m) from x rows (E, n, k) . y cols (E, k, m)
+      — inner must be the y-side array, outer the x-side array.
+    * ``"col-row"``: the transposed pairing (inner = x side, outer = y
+      side), used when the operand roles are swapped.
+    """
+    if pattern == "row-col":
+        # inner: (E2, k, m) -> s[k, m]; outer: (E1, n, k)
+        s = norm_along_axis0(inner_coeffs, inner_q)
+        t = np.einsum("km,enk->enm", s, np.abs(outer_coeffs))
+    elif pattern == "col-row":
+        # inner: (E1, n, k) -> s[n, k]; outer: (E2, k, m)
+        s = norm_along_axis0(inner_coeffs, inner_q)
+        t = np.einsum("nk,ekm->enm", s, np.abs(outer_coeffs))
+    else:
+        raise ValueError(pattern)
+    return norm_along_axis0(t, outer_q)
+
+
+def _precise_eps_bounds(x_eps, y_eps, block=8):
+    """Eq. (6) interval bounds of ``(B1 eps).(B2 eps)`` per output pair.
+
+    ``x_eps``: (E, n, k), ``y_eps``: (E, k, m). Returns (l, u) of shape
+    (n, m). The full pairwise tensor M[i, j, a, b] = sum_t x[a,i,t] y[b,t,j]
+    is materialized in blocks of ``block`` output rows to bound memory.
+    """
+    n_eps, n, _ = x_eps.shape
+    m = y_eps.shape[2]
+    lower = np.zeros((n, m))
+    upper = np.zeros((n, m))
+    if n_eps == 0:
+        return lower, upper
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        # M: (rows, m, E, E)
+        pairwise = np.einsum("ait,btj->ijab", x_eps[:, start:stop, :], y_eps)
+        diag = np.einsum("ijaa->ija", pairwise)
+        abs_sum = np.abs(pairwise).sum(axis=(2, 3))
+        abs_diag = np.abs(diag).sum(axis=2)
+        off = abs_sum - abs_diag                      # sum_{a != b} |M_ab|
+        lower[start:stop] = np.minimum(diag, 0.0).sum(axis=2) - off
+        upper[start:stop] = np.maximum(diag, 0.0).sum(axis=2) + off
+    return lower, upper
+
+
+def _quadratic_bounds(x, y, config):
+    """Interval bounds of the full quadratic interaction term, per output.
+
+    ``x``: zonotope (n, k), ``y``: zonotope (k, m); returns (l, u) of shape
+    (n, m) bounding (A1 phi + B1 eps)_i . (A2 phi + B2 eps)_j.
+    """
+    q = x.q
+    bound = np.zeros((x.shape[0], y.shape[1]))
+
+    # phi-phi: both sides carry the ℓp norm; collapse the y side first.
+    if x.n_phi and y.n_phi:
+        bound = bound + _fast_case_bound(y.phi, q, x.phi, q, "row-col")
+
+    # Mixed cases: the order flag decides which norm the dual trick
+    # collapses first (the first-collapsed operand is the inner one).
+    if x.n_phi and y.n_eps:
+        if config.order == "linf_first":
+            bound = bound + _fast_case_bound(y.eps, 1.0, x.phi, q, "row-col")
+        else:
+            bound = bound + _fast_case_bound(x.phi, q, y.eps, 1.0, "col-row")
+    if x.n_eps and y.n_phi:
+        if config.order == "linf_first":
+            bound = bound + _fast_case_bound(x.eps, 1.0, y.phi, q, "col-row")
+        else:
+            bound = bound + _fast_case_bound(y.phi, q, x.eps, 1.0, "row-col")
+
+    lower, upper = -bound, bound
+
+    # eps-eps: fast cascade or the precise pairwise analysis.
+    if x.n_eps and y.n_eps:
+        if config.variant == "precise":
+            l_ee, u_ee = _precise_eps_bounds(x.eps, y.eps)
+        else:
+            b_ee = _fast_case_bound(y.eps, 1.0, x.eps, 1.0, "row-col")
+            l_ee, u_ee = -b_ee, b_ee
+        lower = lower + l_ee
+        upper = upper + u_ee
+    return lower, upper
+
+
+def zonotope_matmul(x, y, config=None):
+    """Abstract matrix product of two zonotopes: (n, k) @ (k, m) -> (n, m).
+
+    Both operands live in the same symbol space (they are aligned first).
+    The affine part is exact; the quadratic interaction is folded into a
+    center shift plus a fresh eps symbol per output variable.
+    """
+    config = config or DotProductConfig()
+    if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[0]:
+        raise ValueError(f"incompatible shapes {x.shape} @ {y.shape}")
+    x, y = x.aligned_with(y)
+
+    center = x.center @ y.center
+    n_out_shape = (x.shape[0], y.shape[1])
+
+    def cross(coeff_x, coeff_y):
+        """c2-weighted x-coeffs plus c1-weighted y-coeffs (exact part)."""
+        parts = []
+        if coeff_x.shape[0]:
+            parts.append(np.einsum("enk,km->enm", coeff_x, y.center))
+        if coeff_y.shape[0]:
+            parts.append(np.einsum("nk,ekm->enm", x.center, coeff_y))
+        if not parts:
+            return np.zeros((0,) + n_out_shape)
+        return parts[0] + parts[1] if len(parts) == 2 else parts[0]
+
+    phi = cross(x.phi, y.phi) if (x.n_phi or y.n_phi) \
+        else np.zeros((0,) + n_out_shape)
+    eps = cross(x.eps, y.eps) if (x.n_eps or y.n_eps) \
+        else np.zeros((0,) + n_out_shape)
+
+    lower, upper = _quadratic_bounds(x, y, config)
+    center = center + 0.5 * (lower + upper)
+    out = MultiNormZonotope(center, phi, eps, x.p)
+    return out.append_fresh_eps(0.5 * (upper - lower), tol=config.tol)
+
+
+def zonotope_multiply(x, y, config=None):
+    """Elementwise product of two zonotopes of the same variable shape.
+
+    This is the Section 4.9 transformer: the dot product specialized to
+    1-element vectors, vectorized over all variables. Broadcasting between
+    the operand shapes is supported (needed by standard layer norm, where a
+    per-row 1/sigma multiplies a full row).
+    """
+    config = config or DotProductConfig()
+    x, y = x.aligned_with(y)
+    out_shape = np.broadcast_shapes(x.shape, y.shape)
+    x = _broadcast_vars(x, out_shape)
+    y = _broadcast_vars(y, out_shape)
+
+    center = x.center * y.center
+    phi = (x.phi * y.center + x.center * y.phi) if (x.n_phi or y.n_phi) \
+        else np.zeros((0,) + out_shape)
+    eps = (x.eps * y.center + x.center * y.eps) if (x.n_eps or y.n_eps) \
+        else np.zeros((0,) + out_shape)
+
+    lower, upper = _elementwise_quadratic_bounds(x, y, config)
+    center = center + 0.5 * (lower + upper)
+    out = MultiNormZonotope(center, phi, eps, x.p)
+    return out.append_fresh_eps(0.5 * (upper - lower), tol=config.tol)
+
+
+def _broadcast_vars(z, shape):
+    """Broadcast a zonotope's variables (and coefficients) to ``shape``."""
+    if z.shape == tuple(shape):
+        return z
+    center = np.broadcast_to(z.center, shape).copy()
+    phi = np.broadcast_to(z.phi, (z.n_phi,) + tuple(shape)).copy()
+    eps = np.broadcast_to(z.eps, (z.n_eps,) + tuple(shape)).copy()
+    return MultiNormZonotope(center, phi, eps, z.p)
+
+
+def _elementwise_quadratic_bounds(x, y, config):
+    """Quadratic-term bounds for the elementwise product (k = 1 case)."""
+    q = x.q
+
+    def fast_pair(cx, qx, cy, qy):
+        # |sum over symbols| <= ||cy||_{qy per var} * ... degenerate k=1
+        # cascade: inner norm collapses one operand, outer the other.
+        s_inner = norm_along_axis0(cy, qy)
+        t = s_inner * np.abs(cx)
+        return norm_along_axis0(t, qx)
+
+    bound = np.zeros(x.shape)
+    if x.n_phi and y.n_phi:
+        bound = bound + fast_pair(x.phi, q, y.phi, q)
+    if x.n_phi and y.n_eps:
+        if config.order == "linf_first":
+            bound = bound + fast_pair(x.phi, q, y.eps, 1.0)
+        else:
+            bound = bound + fast_pair(y.eps, 1.0, x.phi, q)
+    if x.n_eps and y.n_phi:
+        if config.order == "linf_first":
+            bound = bound + fast_pair(y.phi, q, x.eps, 1.0)
+        else:
+            bound = bound + fast_pair(x.eps, 1.0, y.phi, q)
+    lower, upper = -bound, bound
+
+    if x.n_eps and y.n_eps:
+        if config.variant == "precise":
+            # Pairwise matrix per variable: M[a, b, var] = Bx[a] By[b].
+            pairwise = np.einsum("a...,b...->ab...", x.eps, y.eps)
+            diag = np.einsum("aa...->a...", pairwise)
+            abs_sum = np.abs(pairwise).sum(axis=(0, 1))
+            off = abs_sum - np.abs(diag).sum(axis=0)
+            l_ee = np.minimum(diag, 0.0).sum(axis=0) - off
+            u_ee = np.maximum(diag, 0.0).sum(axis=0) + off
+        else:
+            b_ee = fast_pair(x.eps, 1.0, y.eps, 1.0)
+            l_ee, u_ee = -b_ee, b_ee
+        lower = lower + l_ee
+        upper = upper + u_ee
+    return lower, upper

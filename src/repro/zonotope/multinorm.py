@@ -1,0 +1,390 @@
+"""The Multi-norm Zonotope abstract domain (Section 4).
+
+A Multi-norm Zonotope abstracts a tensor of variables ``x`` as
+
+    x = c + A . phi + B . eps,    ||phi||_p <= 1,   eps_j in [-1, 1],
+
+where ``phi`` are the ℓp-bound noise symbols introduced by the input region
+and ``eps`` are classical ℓ∞ noise symbols (the input box for p=∞, plus the
+fresh symbols created by non-linear abstract transformers). With no ``phi``
+symbols the domain degenerates to the classical Zonotope.
+
+Storage layout: for a variable tensor of shape ``S``,
+
+* ``center`` has shape ``S``,
+* ``phi`` has shape ``(Ep,) + S``  (symbol axis first),
+* ``eps`` has shape ``(Einf,) + S``.
+
+Concrete interval bounds follow Theorem 1 via the dual norm (Lemma 1):
+``l = c - ||A_k||_q - ||B_k||_1`` and ``u = c + ||A_k||_q + ||B_k||_1``
+with ``1/p + 1/q = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MultiNormZonotope", "dual_exponent", "norm_along_axis0"]
+
+_SUPPORTED_P = (1.0, 2.0, np.inf)
+
+
+def dual_exponent(p):
+    """The exponent ``q`` dual to ``p`` (1/p + 1/q = 1)."""
+    p = float(p)
+    if p == 1.0:
+        return np.inf
+    if p == 2.0:
+        return 2.0
+    if p == np.inf:
+        return 1.0
+    if p <= 1.0:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return p / (p - 1.0)
+
+
+def norm_along_axis0(coeffs, q):
+    """ℓq norm over the (leading) symbol axis of a coefficient tensor."""
+    if coeffs.shape[0] == 0:
+        return np.zeros(coeffs.shape[1:])
+    if q == 1.0:
+        return np.abs(coeffs).sum(axis=0)
+    if q == 2.0:
+        return np.sqrt((coeffs * coeffs).sum(axis=0))
+    if q == np.inf:
+        return np.abs(coeffs).max(axis=0)
+    return (np.abs(coeffs) ** q).sum(axis=0) ** (1.0 / q)
+
+
+class MultiNormZonotope:
+    """A Multi-norm Zonotope over a tensor of variables.
+
+    Instances are immutable by convention: transformers return new objects
+    (coefficient arrays may be shared when unchanged).
+    """
+
+    __slots__ = ("center", "phi", "eps", "p")
+
+    def __init__(self, center, phi=None, eps=None, p=np.inf):
+        self.center = np.asarray(center, dtype=np.float64)
+        shape = self.center.shape
+        if phi is None:
+            phi = np.zeros((0,) + shape)
+        if eps is None:
+            eps = np.zeros((0,) + shape)
+        self.phi = np.asarray(phi, dtype=np.float64)
+        self.eps = np.asarray(eps, dtype=np.float64)
+        self.p = float(p)
+        if self.p not in _SUPPORTED_P and self.p <= 1.0:
+            raise ValueError(f"unsupported p-norm {p}")
+        if self.phi.shape[1:] != shape or self.eps.shape[1:] != shape:
+            raise ValueError(
+                f"coefficient shapes {self.phi.shape} / {self.eps.shape} do "
+                f"not match variable shape {shape}")
+
+    # -------------------------------------------------------------- metadata
+    @property
+    def shape(self):
+        return self.center.shape
+
+    @property
+    def ndim(self):
+        return self.center.ndim
+
+    @property
+    def n_phi(self):
+        """Number of ℓp noise symbols (E_p)."""
+        return self.phi.shape[0]
+
+    @property
+    def n_eps(self):
+        """Number of ℓ∞ noise symbols (E_∞)."""
+        return self.eps.shape[0]
+
+    @property
+    def q(self):
+        """Dual exponent of ``p``."""
+        return dual_exponent(self.p)
+
+    def __repr__(self):
+        return (f"MultiNormZonotope(shape={self.shape}, p={self.p}, "
+                f"n_phi={self.n_phi}, n_eps={self.n_eps})")
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_lp_ball(cls, center, radius, p, perturbed_mask=None):
+        """Zonotope for an ℓp ball of ``radius`` around ``center``.
+
+        ``perturbed_mask`` (boolean, same shape as ``center``) restricts
+        which coordinates are perturbed — e.g. one word's embedding row in
+        threat model T1. One noise symbol is created per perturbed
+        coordinate. For p=∞ the symbols are classical ``eps`` symbols (the
+        Multi-norm Zonotope then coincides with a classical Zonotope); for
+        p in {1, 2} they are ``phi`` symbols.
+        """
+        center = np.asarray(center, dtype=np.float64)
+        if perturbed_mask is None:
+            perturbed_mask = np.ones(center.shape, dtype=bool)
+        perturbed_mask = np.asarray(perturbed_mask, dtype=bool)
+        flat_idx = np.flatnonzero(perturbed_mask.reshape(-1))
+        n_sym = len(flat_idx)
+        coeffs = np.zeros((n_sym,) + center.shape)
+        coeffs.reshape(n_sym, -1)[np.arange(n_sym), flat_idx] = float(radius)
+        if float(p) == np.inf:
+            return cls(center, eps=coeffs, p=np.inf)
+        return cls(center, phi=coeffs, p=p)
+
+    @classmethod
+    def from_box(cls, center, radius_per_coord):
+        """Classical zonotope for a per-coordinate box (synonym regions)."""
+        center = np.asarray(center, dtype=np.float64)
+        radius = np.asarray(radius_per_coord, dtype=np.float64)
+        mask = radius.reshape(-1) > 0
+        flat_idx = np.flatnonzero(mask)
+        coeffs = np.zeros((len(flat_idx),) + center.shape)
+        coeffs.reshape(len(flat_idx), -1)[np.arange(len(flat_idx)), flat_idx] = \
+            radius.reshape(-1)[flat_idx]
+        return cls(center, eps=coeffs, p=np.inf)
+
+    @classmethod
+    def point(cls, center, p=np.inf, n_phi=0, n_eps=0):
+        """Degenerate zonotope for a concrete value (zero coefficients)."""
+        center = np.asarray(center, dtype=np.float64)
+        return cls(center,
+                   phi=np.zeros((n_phi,) + center.shape),
+                   eps=np.zeros((n_eps,) + center.shape), p=p)
+
+    # --------------------------------------------------------------- bounds
+    def bounds(self):
+        """Concrete interval bounds (Theorem 1): sound and tight.
+
+        Overflowed affine forms (infinite center/coefficients, e.g. from
+        exponentials of enormous regions) would yield NaN via inf - inf;
+        those entries degrade to the vacuous-but-sound bounds -inf/+inf.
+        """
+        spread = (norm_along_axis0(self.phi, self.q)
+                  + norm_along_axis0(self.eps, 1.0))
+        with np.errstate(invalid="ignore"):
+            lower = self.center - spread
+            upper = self.center + spread
+        if not np.all(np.isfinite(lower)) or not np.all(np.isfinite(upper)):
+            lower = np.where(np.isnan(lower), -np.inf, lower)
+            upper = np.where(np.isnan(upper), np.inf, upper)
+        return lower, upper
+
+    def radius(self):
+        """Half-width of the concrete interval bounds."""
+        return (norm_along_axis0(self.phi, self.q)
+                + norm_along_axis0(self.eps, 1.0))
+
+    def concretize(self, phi_values, eps_values):
+        """Evaluate the affine forms at concrete noise instantiations.
+
+        Raises if the instantiation violates the norm constraints (beyond a
+        small numerical tolerance) — useful for soundness tests.
+        """
+        phi_values = np.asarray(phi_values, dtype=np.float64)
+        eps_values = np.asarray(eps_values, dtype=np.float64)
+        if phi_values.shape != (self.n_phi,):
+            raise ValueError(f"expected {self.n_phi} phi values")
+        if eps_values.shape != (self.n_eps,):
+            raise ValueError(f"expected {self.n_eps} eps values")
+        if self.n_phi and np.linalg.norm(phi_values, ord=self.p) > 1 + 1e-9:
+            raise ValueError("phi instantiation violates the ℓp constraint")
+        if self.n_eps and np.abs(eps_values).max(initial=0.0) > 1 + 1e-9:
+            raise ValueError("eps instantiation violates [-1, 1]")
+        out = self.center.copy()
+        if self.n_phi:
+            out += np.tensordot(phi_values, self.phi, axes=(0, 0))
+        if self.n_eps:
+            out += np.tensordot(eps_values, self.eps, axes=(0, 0))
+        return out
+
+    def sample(self, rng, n=1):
+        """Draw ``n`` concrete points from the zonotope (for sound tests)."""
+        points = []
+        for _ in range(n):
+            if self.n_phi:
+                raw = rng.normal(size=self.n_phi)
+                norm = np.linalg.norm(raw, ord=self.p)
+                scale = rng.uniform(0, 1) / max(norm, 1e-12)
+                phi_values = raw * scale
+            else:
+                phi_values = np.zeros(0)
+            eps_values = rng.uniform(-1, 1, size=self.n_eps)
+            points.append(self.concretize(phi_values, eps_values))
+        return np.stack(points) if points else np.zeros((0,) + self.shape)
+
+    # ------------------------------------------------------ symbol alignment
+    def pad_eps(self, n_total):
+        """Zero-pad the eps block to ``n_total`` symbols (fresh symbols)."""
+        if n_total < self.n_eps:
+            raise ValueError("cannot pad to fewer symbols")
+        if n_total == self.n_eps:
+            return self
+        pad = np.zeros((n_total - self.n_eps,) + self.shape)
+        return MultiNormZonotope(self.center, self.phi,
+                                 np.concatenate([self.eps, pad], axis=0),
+                                 self.p)
+
+    def aligned_with(self, other):
+        """Return (self', other') with identical symbol counts.
+
+        Both zonotopes must come from the same propagation (identical phi
+        block size and p); the eps blocks are zero-padded to the max, which
+        is correct because later symbols are always fresh.
+        """
+        if self.n_phi != other.n_phi or self.p != other.p:
+            raise ValueError("zonotopes come from different symbol spaces")
+        n = max(self.n_eps, other.n_eps)
+        return self.pad_eps(n), other.pad_eps(n)
+
+    def append_fresh_eps(self, magnitudes, tol=0.0):
+        """Append one fresh ℓ∞ symbol per variable with given magnitude.
+
+        ``magnitudes`` has the variable shape; variables with magnitude
+        ``<= tol`` get no symbol (their rows would be all-zero). This is how
+        every non-linear transformer introduces its ``beta_new eps_new``
+        term.
+        """
+        magnitudes = np.asarray(magnitudes, dtype=np.float64)
+        flat = magnitudes.reshape(-1)
+        idx = np.flatnonzero(np.abs(flat) > tol)
+        if len(idx) == 0:
+            return self
+        block = np.zeros((len(idx), flat.size))
+        block[np.arange(len(idx)), idx] = flat[idx]
+        block = block.reshape((len(idx),) + self.shape)
+        return MultiNormZonotope(self.center, self.phi,
+                                 np.concatenate([self.eps, block], axis=0),
+                                 self.p)
+
+    # -------------------------------------------------- affine (Theorem 2)
+    def _binary_affine(self, other, f):
+        a, b = self.aligned_with(other)
+        return MultiNormZonotope(f(a.center, b.center), f(a.phi, b.phi),
+                                 f(a.eps, b.eps), self.p)
+
+    def __add__(self, other):
+        if isinstance(other, MultiNormZonotope):
+            return self._binary_affine(other, np.add)
+        other = np.asarray(other, dtype=np.float64)
+        return MultiNormZonotope(self.center + other, self.phi, self.eps,
+                                 self.p)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, MultiNormZonotope):
+            return self._binary_affine(other, np.subtract)
+        other = np.asarray(other, dtype=np.float64)
+        return MultiNormZonotope(self.center - other, self.phi, self.eps,
+                                 self.p)
+
+    def __rsub__(self, other):
+        return (-self) + other
+
+    def __neg__(self):
+        return MultiNormZonotope(-self.center, -self.phi, -self.eps, self.p)
+
+    def scale(self, factor):
+        """Elementwise scaling by a constant scalar or array (exact)."""
+        factor = np.asarray(factor, dtype=np.float64)
+        return MultiNormZonotope(self.center * factor, self.phi * factor,
+                                 self.eps * factor, self.p)
+
+    __mul__ = scale          # constants only; variable products live in
+    __rmul__ = scale         # repro.zonotope.dotproduct
+
+    def matmul_const(self, weight):
+        """Right-multiply the variables by a constant matrix: ``x @ W``.
+
+        Variable tensors with last axis ``k`` and ``W`` of shape (k, m).
+        Exact (affine transformer, Theorem 2).
+        """
+        weight = np.asarray(weight, dtype=np.float64)
+        return MultiNormZonotope(self.center @ weight, self.phi @ weight,
+                                 self.eps @ weight, self.p)
+
+    def const_matmul(self, weight):
+        """Left-multiply by a constant matrix: ``W @ x`` (exact)."""
+        weight = np.asarray(weight, dtype=np.float64)
+        return MultiNormZonotope(
+            weight @ self.center,
+            np.einsum("ij,ejk->eik", weight, self.phi) if self.n_phi
+            else np.zeros((0,) + (weight.shape[0],) + self.shape[1:]),
+            np.einsum("ij,ejk->eik", weight, self.eps) if self.n_eps
+            else np.zeros((0,) + (weight.shape[0],) + self.shape[1:]),
+            self.p)
+
+    # ----------------------------------------------------- variable reshapes
+    def __getitem__(self, idx):
+        """Select variables (slicing applies to the variable axes)."""
+        sym_idx = (slice(None),) + (idx if isinstance(idx, tuple) else (idx,))
+        return MultiNormZonotope(self.center[idx], self.phi[sym_idx],
+                                 self.eps[sym_idx], self.p)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return MultiNormZonotope(
+            self.center.reshape(shape),
+            self.phi.reshape((self.n_phi,) + tuple(shape)),
+            self.eps.reshape((self.n_eps,) + tuple(shape)), self.p)
+
+    def transpose_vars(self, *axes):
+        """Transpose the variable axes (symbol axis stays first)."""
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        sym_axes = (0,) + tuple(a + 1 for a in axes)
+        return MultiNormZonotope(self.center.transpose(axes),
+                                 self.phi.transpose(sym_axes),
+                                 self.eps.transpose(sym_axes), self.p)
+
+    def sum_vars(self, axis, keepdims=False):
+        """Sum variables along an axis (exact affine transformer)."""
+        axis = axis % self.ndim
+        return MultiNormZonotope(
+            self.center.sum(axis=axis, keepdims=keepdims),
+            self.phi.sum(axis=axis + 1, keepdims=keepdims),
+            self.eps.sum(axis=axis + 1, keepdims=keepdims), self.p)
+
+    def mean_vars(self, axis, keepdims=False):
+        """Mean of variables along an axis (exact)."""
+        count = self.shape[axis % self.ndim]
+        return self.sum_vars(axis, keepdims=keepdims).scale(1.0 / count)
+
+    @staticmethod
+    def concat(zonotopes, axis=0):
+        """Concatenate along a variable axis (symbol spaces are aligned)."""
+        if not zonotopes:
+            raise ValueError("nothing to concatenate")
+        n = max(z.n_eps for z in zonotopes)
+        zonotopes = [z.pad_eps(n) for z in zonotopes]
+        first = zonotopes[0]
+        for z in zonotopes[1:]:
+            if z.n_phi != first.n_phi or z.p != first.p:
+                raise ValueError("zonotopes come from different symbol spaces")
+        axis = axis % first.ndim
+        return MultiNormZonotope(
+            np.concatenate([z.center for z in zonotopes], axis=axis),
+            np.concatenate([z.phi for z in zonotopes], axis=axis + 1),
+            np.concatenate([z.eps for z in zonotopes], axis=axis + 1),
+            first.p)
+
+    def expand_dims(self, axis):
+        """Insert a size-one variable axis."""
+        axis = axis % (self.ndim + 1)
+        return MultiNormZonotope(
+            np.expand_dims(self.center, axis),
+            np.expand_dims(self.phi, axis + 1),
+            np.expand_dims(self.eps, axis + 1), self.p)
+
+    def contains_point(self, point, tol=1e-7):
+        """Cheap necessary check: ``point`` within the interval bounds."""
+        lower, upper = self.bounds()
+        point = np.asarray(point)
+        return bool(np.all(point >= lower - tol)
+                    and np.all(point <= upper + tol))

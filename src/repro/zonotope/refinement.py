@@ -1,0 +1,249 @@
+"""Softmax-sum Zonotope refinement (Section 5.3, Appendix A.1).
+
+The concrete softmax outputs of a row always satisfy ``sum_j y_j = 1``, but
+the abstract transformer's output zonotope admits instantiations violating
+it. The refinement intersects the zonotope with that equality constraint,
+following Ghorbal et al.'s constrained-zonotope construction. With
+
+    D := 1 - sum_j y_j   (an affine form over the noise symbols)
+
+the constraint set is exactly ``D = 0``, so for any scalar ``s`` the form
+``y_i' = y_i + s . D`` agrees with ``y_i`` on the constraint set. Two
+refinements are applied per softmax row:
+
+1. every row variable is replaced by ``y_i' = y_i + s_i . D`` where ``s_i``
+   minimizes the noise-coefficient mass ``||alpha'||_1 + ||beta'||_1``
+   (the weighted-median slope-walk of Appendix A.1). Candidates that would
+   zero a phi coefficient are excluded (per the paper, to preserve the
+   input-region correlation) and ``s_i = 0`` is always admitted, so a
+   variable's coefficient mass never grows. The paper optimizes ``y_1`` this
+   way and pins the remaining variables to the pivot-eliminating
+   substitution ``s_i = -beta_i_k / beta_D_k`` (one of our candidate
+   breakpoints); optimizing every variable is the same construction with a
+   uniformly-at-least-as-tight choice.
+2. the constraint ``D = 0`` is solved for each eps symbol with significant
+   coefficient, restricting its range inside [-1, 1]; tightened symbols are
+   rewritten as ``eps = mid + half * eps_new`` so downstream transformers
+   keep the [-1, 1] invariant.
+
+Step 2's tightenings are also *returned* (as :class:`EpsRewrite` records) so
+the caller can apply the identical rewrite to every other live zonotope of
+the propagation — symbols are shared, and applying the rewrite everywhere
+preserves correlations (applying it to a subset is still sound: it merely
+decorrelates the rewritten copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .multinorm import MultiNormZonotope
+
+__all__ = ["EpsRewrite", "apply_eps_rewrites", "refine_softmax_rows",
+           "minimize_coefficient_mass"]
+
+_PIVOT_TOL = 1e-9
+# Only report a tightening if it shrinks the symbol range by at least this
+# fraction (avoids churning on no-op rewrites).
+_SHRINK_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class EpsRewrite:
+    """Replace eps symbol ``index`` by ``mid + half * eps_fresh``."""
+
+    index: int
+    mid: float
+    half: float
+
+
+def apply_eps_rewrites(zonotope, rewrites):
+    """Apply symbol-range rewrites to a zonotope (reusing the columns).
+
+    For each rewrite, the center absorbs ``coeff * mid`` and the symbol's
+    coefficient row is scaled by ``half``; the row then represents the
+    fresh [-1, 1] symbol. Symbol indices beyond the zonotope's eps block
+    (fresh symbols it never saw) are ignored.
+    """
+    if not rewrites:
+        return zonotope
+    center = zonotope.center.copy()
+    eps = zonotope.eps.copy()
+    for rewrite in rewrites:
+        if rewrite.index >= eps.shape[0]:
+            continue
+        row = eps[rewrite.index]
+        center += row * rewrite.mid
+        eps[rewrite.index] = row * rewrite.half
+    return MultiNormZonotope(center, zonotope.phi, eps, zonotope.p)
+
+
+def minimize_coefficient_mass(base_coeffs, direction_coeffs, n_phi):
+    """Appendix A.1: minimize ``f(s) = sum_t |r_t + s_t s|`` over ``s``.
+
+    ``base_coeffs`` (r) and ``direction_coeffs`` (s_t) are the concatenated
+    [phi | eps] coefficient vectors of the variable and of ``D``; the first
+    ``n_phi`` entries are phi coefficients, whose breakpoints are excluded
+    from the candidate set. ``s = 0`` is always admitted. Returns the chosen
+    ``s``.
+
+    The objective is convex piecewise-linear with breakpoints at
+    ``-r_t / s_t``; the global minimizer is found by the O(T log T)
+    slope-walk, and if it is phi-derived the best allowed candidate among
+    {adjacent allowed breakpoints, 0} is taken (by convexity the restricted
+    optimum over breakpoints is adjacent to the global one).
+    """
+    r = np.asarray(base_coeffs, dtype=np.float64)
+    s = np.asarray(direction_coeffs, dtype=np.float64)
+    active = np.abs(s) > 0
+    if not np.any(active):
+        return 0.0
+    breaks = -r[active] / s[active]
+    weights = np.abs(s[active])
+    is_phi = (np.arange(len(r)) < n_phi)[active]
+
+    order = np.argsort(breaks)
+    breaks = breaks[order]
+    weights = weights[order]
+    is_phi = is_phi[order]
+
+    cumulative = -weights.sum() + 2.0 * np.cumsum(weights)
+    opt_pos = min(int(np.searchsorted(cumulative, 0.0)), len(breaks) - 1)
+
+    def objective(value):
+        return np.abs(r + s * value).sum()
+
+    if not is_phi[opt_pos]:
+        candidate = float(breaks[opt_pos])
+    else:
+        allowed = np.flatnonzero(~is_phi)
+        neighbours = []
+        left = allowed[allowed < opt_pos]
+        right = allowed[allowed > opt_pos]
+        if len(left):
+            neighbours.append(float(breaks[left[-1]]))
+        if len(right):
+            neighbours.append(float(breaks[right[0]]))
+        candidate = min(neighbours, key=objective) if neighbours else 0.0
+    return candidate if objective(candidate) < objective(0.0) else 0.0
+
+
+def _minimize_mass_rows(coeffs, d_coeffs, n_phi):
+    """Vectorized step 1 over the ``m`` variables of one softmax row.
+
+    ``coeffs``: (T, m) stacked [phi | eps] coefficients of the row
+    variables; ``d_coeffs``: (T,) coefficients of D. Returns the chosen
+    ``s`` per variable. The fast path finds the global weighted-median
+    breakpoint per column; columns whose optimum is phi-derived fall back
+    to the scalar routine.
+    """
+    n_vars = coeffs.shape[1]
+    result = np.zeros(n_vars)
+    active = np.abs(d_coeffs) > 0
+    if not np.any(active):
+        return result
+    r = coeffs[active]                       # (Ta, m)
+    s = d_coeffs[active]                     # (Ta,)
+    is_phi = (np.arange(len(d_coeffs)) < n_phi)[active]
+    breaks = -r / s[:, None]                 # (Ta, m)
+    weights = np.abs(s)
+
+    order = np.argsort(breaks, axis=0)
+    sorted_breaks = np.take_along_axis(breaks, order, axis=0)
+    sorted_weights = weights[order]
+    sorted_is_phi = is_phi[order]
+    cumulative = -weights.sum() + 2.0 * np.cumsum(sorted_weights, axis=0)
+    opt_pos = np.minimum((cumulative < 0).sum(axis=0), len(s) - 1)
+
+    cols = np.arange(n_vars)
+    chosen = sorted_breaks[opt_pos, cols]
+    phi_hit = sorted_is_phi[opt_pos, cols]
+
+    # Never-worse-than-zero guard, vectorized.
+    mass_at = np.abs(r + s[:, None] * chosen[None, :]).sum(axis=0)
+    mass_at_zero = np.abs(r).sum(axis=0)
+    chosen = np.where(mass_at < mass_at_zero, chosen, 0.0)
+
+    result[:] = chosen
+    for col in np.flatnonzero(phi_hit):
+        result[col] = minimize_coefficient_mass(coeffs[:, col], d_coeffs,
+                                                n_phi)
+    return result
+
+
+def _tightenings_from_constraint(d_center, d_phi_mass, d_eps):
+    """Step 2: per-symbol range restrictions from ``D = 0``.
+
+    Solving ``0 = c_D + alpha_D.phi + beta_D.eps`` for ``eps_m`` restricts
+    its range to ``[(-c_D - R_m)/beta_m, (-c_D + R_m)/beta_m]`` (sorted),
+    where ``R_m`` is the dual-norm mass of the remaining terms. Returns a
+    dict ``index -> (a, b)`` intersected with [-1, 1].
+    """
+    abs_coeffs = np.abs(d_eps)
+    total = d_phi_mass + abs_coeffs.sum()
+    ranges = {}
+    for m in np.flatnonzero(abs_coeffs > _PIVOT_TOL):
+        rest = total - abs_coeffs[m]
+        lo = (-d_center - rest) / d_eps[m]
+        hi = (-d_center + rest) / d_eps[m]
+        if lo > hi:
+            lo, hi = hi, lo
+        lo, hi = max(lo, -1.0), min(hi, 1.0)
+        if hi - lo < 2.0 - _SHRINK_TOL:
+            ranges[int(m)] = (lo, hi)
+    return ranges
+
+
+def refine_softmax_rows(z):
+    """Refine an (n, m) softmax-output zonotope row by row.
+
+    Returns ``(refined_zonotope, rewrites)``. Numerically empty tightened
+    ranges (impossible for sound inputs) are collapsed to their midpoint.
+    """
+    if z.ndim != 2:
+        raise ValueError(f"expected an (n, m) zonotope, got {z.shape}")
+    center = z.center.copy()
+    phi = z.phi.copy()
+    eps = z.eps.copy()
+    n_phi = z.n_phi
+    from .multinorm import norm_along_axis0
+
+    combined = {}
+    for i in range(z.shape[0]):
+        d_center = 1.0 - center[i].sum()
+        d_phi = -phi[:, i].sum(axis=1)
+        d_eps = -eps[:, i].sum(axis=1)
+        if np.abs(d_eps).max(initial=0.0) <= _PIVOT_TOL:
+            continue
+
+        # Step 1: per-variable mass-minimizing combination with D.
+        coeffs = np.concatenate([phi[:, i], eps[:, i]], axis=0)
+        d_coeffs = np.concatenate([d_phi, d_eps])
+        s_values = _minimize_mass_rows(coeffs, d_coeffs, n_phi)
+        center[i] += s_values * d_center
+        phi[:, i] += np.outer(d_phi, s_values)
+        eps[:, i] += np.outer(d_eps, s_values)
+
+        # Step 2: symbol tightenings from D = 0 (D is unchanged by step 1
+        # on the constraint set, and its affine form is fixed).
+        d_phi_mass = (norm_along_axis0(d_phi[:, None], z.q)[0]
+                      if n_phi else 0.0)
+        for idx, (lo, hi) in _tightenings_from_constraint(
+                d_center, d_phi_mass, d_eps).items():
+            if idx in combined:
+                prev_lo, prev_hi = combined[idx]
+                combined[idx] = (max(lo, prev_lo), min(hi, prev_hi))
+            else:
+                combined[idx] = (lo, hi)
+
+    rewrites = []
+    for idx, (lo, hi) in sorted(combined.items()):
+        if hi < lo:  # numerically empty; collapse to the midpoint
+            lo = hi = 0.5 * (lo + hi)
+        rewrites.append(EpsRewrite(index=idx, mid=0.5 * (lo + hi),
+                                   half=0.5 * (hi - lo)))
+    refined = MultiNormZonotope(center, phi, eps, z.p)
+    refined = apply_eps_rewrites(refined, rewrites)
+    return refined, rewrites

@@ -1,0 +1,35 @@
+"""Finite-difference gradient checking shared across autograd tests."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at ndarray x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0, tol=1e-5):
+    """Compare autograd against numerical gradient for scalar outputs."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = build(x)
+    out.backward()
+    analytic = x.grad
+
+    def scalar(values):
+        return build(Tensor(values)).data.sum()
+
+    numeric = numerical_grad(lambda v: scalar(v), x0.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=tol, rtol=tol)

@@ -1,0 +1,115 @@
+"""Tests for the attack package — including the certification bracket
+``certified_radius <= attack_radius``, the strongest end-to-end check of
+the whole system."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (pgd_attack, min_adversarial_radius,
+                           greedy_synonym_attack)
+from repro.attacks.embedding import _project_lp, _lp_step
+from repro.nlp import build_synonym_attack
+from repro.verify import DeepTVerifier, FAST, max_certified_radius
+
+
+class TestProjections:
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_projection_lands_in_ball(self, rng, p):
+        for _ in range(30):
+            delta = rng.normal(size=12) * 5
+            projected = _project_lp(delta, 0.7, p)
+            assert np.linalg.norm(projected.reshape(-1), ord=p) <= 0.7 + 1e-9
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_projection_identity_inside(self, rng, p):
+        delta = rng.normal(size=6) * 1e-3
+        np.testing.assert_allclose(_project_lp(delta, 1.0, p), delta)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_step_has_unit_norm(self, rng, p):
+        gradient = rng.normal(size=8)
+        step = _lp_step(gradient, p)
+        assert np.linalg.norm(step.reshape(-1), ord=p) == \
+            pytest.approx(1.0, abs=1e-9)
+
+    def test_step_ascends(self, rng):
+        gradient = rng.normal(size=8)
+        for p in (1.0, 2.0, np.inf):
+            assert _lp_step(gradient, p).reshape(-1) @ gradient > 0
+
+
+class TestPgd:
+    def test_huge_radius_succeeds(self, tiny_model, tiny_sentence):
+        success, adversarial = pgd_attack(tiny_model, tiny_sentence, 1,
+                                          50.0, 2, n_steps=40)
+        assert success
+        # The adversarial point stays inside the ball.
+        base = tiny_model.embed_array(tiny_sentence)
+        delta = (adversarial - base)[1]
+        assert np.linalg.norm(delta) <= 50.0 + 1e-6
+
+    def test_zero_radius_fails(self, tiny_model, tiny_sentence):
+        success, _ = pgd_attack(tiny_model, tiny_sentence, 1, 1e-9, 2,
+                                n_steps=5)
+        assert not success
+
+    def test_only_target_position_perturbed(self, tiny_model,
+                                            tiny_sentence):
+        _, adversarial = pgd_attack(tiny_model, tiny_sentence, 1, 0.5, 2,
+                                    n_steps=3)
+        base = tiny_model.embed_array(tiny_sentence)
+        np.testing.assert_allclose(adversarial[0], base[0])
+        np.testing.assert_allclose(adversarial[2:], base[2:])
+
+
+class TestBracket:
+    @pytest.mark.parametrize("p", [1, 2, np.inf])
+    def test_certified_radius_below_attack_radius(self, tiny_model,
+                                                  tiny_sentence, p):
+        """The fundamental soundness bracket."""
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        certified = max_certified_radius(verifier, tiny_sentence, 1, p,
+                                         n_iterations=6)
+        attack = min_adversarial_radius(tiny_model, tiny_sentence, 1, p,
+                                        n_iterations=6)
+        assert certified <= attack + 1e-9, \
+            f"certified {certified} exceeds attack bound {attack} (p={p})"
+
+
+class TestGreedySynonymAttack:
+    def test_respects_substitution_sets(self, tiny_model, tiny_corpus,
+                                        tiny_sentence):
+        attack = build_synonym_attack(tiny_model, tiny_corpus.vocab,
+                                      tiny_sentence)
+        result = greedy_synonym_attack(tiny_model, attack)
+        for original, final, allowed in zip(attack.token_ids,
+                                            result.adversarial,
+                                            attack.substitutions):
+            assert final == original or final in allowed
+        assert result.n_queries > 0
+
+    def test_certified_attack_never_succeeds(self, tiny_model, tiny_corpus,
+                                             tiny_sentence):
+        attack = build_synonym_attack(tiny_model, tiny_corpus.vocab,
+                                      tiny_sentence, max_substitutions=2)
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        if verifier.certify_synonym_attack(attack).certified:
+            result = greedy_synonym_attack(tiny_model, attack)
+            assert not result.success, \
+                "attack beat a certified region: soundness bug"
+
+    def test_mixed_polarity_substitutions_flip(self, tiny_model,
+                                               tiny_corpus):
+        vocab = tiny_corpus.vocab
+        pos = vocab.positive_groups[0][0]
+        neg = vocab.negative_groups[0][0]
+        sequence = vocab.encode([pos, pos])
+        attack = build_synonym_attack(tiny_model, vocab, sequence)
+        attack.substitutions[1] = [vocab.id_of(neg)]
+        attack.substitutions[2] = [vocab.id_of(neg)]
+        flipped = vocab.encode([neg, neg])
+        if tiny_model.predict(sequence) == tiny_model.predict(flipped):
+            pytest.skip("model does not separate polarities here")
+        result = greedy_synonym_attack(tiny_model, attack)
+        assert result.success
+        assert result.n_substitutions >= 1

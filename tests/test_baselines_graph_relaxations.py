@@ -1,0 +1,201 @@
+"""Tests for the CROWN graph IR, interval propagation and relaxations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.graph import (Graph, build_transformer_graph,
+                                   interval_propagate)
+from repro.baselines.relaxations import (relu_relaxation, tanh_relaxation,
+                                         exp_relaxation,
+                                         reciprocal_relaxation,
+                                         rsqrt_relaxation, mul_relaxation,
+                                         unary_relaxation)
+from repro.baselines.crown import LpBallInputRegion
+
+
+class TestGraphBuilder:
+    def test_build_shapes(self, tiny_model, tiny_sentence):
+        graph, x, logits = build_transformer_graph(tiny_model,
+                                                   len(tiny_sentence))
+        assert x.shape == (len(tiny_sentence), tiny_model.embed_dim)
+        assert logits.shape == (1, 2)
+
+    def test_node_count_scales_with_layers(self, tiny_model, tiny_corpus):
+        from repro.nn import TransformerClassifier
+        deep = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                     n_heads=2, hidden_dim=8, n_layers=4,
+                                     max_len=16)
+        g2, _, _ = build_transformer_graph(tiny_model, 5)
+        g4, _, _ = build_transformer_graph(deep, 5)
+        assert len(g4.nodes) > len(g2.nodes)
+
+    def test_shape_validation(self):
+        graph = Graph()
+        a = graph.input((2, 3))
+        b = graph.input((3, 3))
+        with pytest.raises(ValueError):
+            graph.add(a, b)
+        with pytest.raises(ValueError):
+            graph.mul(a, b)
+        with pytest.raises(ValueError):
+            graph.matmul(a, a)
+        with pytest.raises(ValueError):
+            graph.unary("sine", a)
+
+    def test_std_layer_norm_supported(self, tiny_model_std_norm,
+                                      tiny_sentence):
+        graph, _, _ = build_transformer_graph(tiny_model_std_norm,
+                                              len(tiny_sentence))
+        ops = {node.op for node in graph.nodes}
+        assert "rsqrt" in ops
+
+
+class TestIntervalPropagation:
+    def test_ibp_contains_concrete_forward(self, tiny_model, tiny_sentence,
+                                           rng):
+        emb = tiny_model.embed_array(tiny_sentence)
+        mask = np.zeros(emb.shape, dtype=bool)
+        mask[1] = True
+        region = LpBallInputRegion(emb, 0.03, np.inf, mask)
+        graph, _, logits = build_transformer_graph(tiny_model,
+                                                   len(tiny_sentence))
+        interval_propagate(graph, *region.interval())
+        for _ in range(100):
+            perturbed = emb.copy()
+            perturbed[1] += rng.uniform(-0.03, 0.03, emb.shape[1])
+            out = tiny_model.logits_from_embedding_array(perturbed)
+            assert np.all(out.reshape(1, -1) >= logits.lower - 1e-7)
+            assert np.all(out.reshape(1, -1) <= logits.upper + 1e-7)
+
+    def test_point_region_exact(self, tiny_model, tiny_sentence):
+        emb = tiny_model.embed_array(tiny_sentence)
+        graph, _, logits = build_transformer_graph(tiny_model,
+                                                   len(tiny_sentence))
+        interval_propagate(graph, emb, emb)
+        expected = tiny_model.logits_from_embedding_array(emb)
+        np.testing.assert_allclose(logits.lower.reshape(-1), expected,
+                                   atol=1e-9)
+        np.testing.assert_allclose(logits.upper.reshape(-1), expected,
+                                   atol=1e-9)
+
+    def test_softmax_denominator_clip(self, tiny_model, tiny_sentence):
+        graph, _, _ = build_transformer_graph(tiny_model,
+                                              len(tiny_sentence))
+        emb = tiny_model.embed_array(tiny_sentence)
+        interval_propagate(graph, emb - 50, emb + 50)  # absurd region
+        for node in graph.nodes:
+            if node.params.get("clip") is not None:
+                lo, hi = node.params["clip"]
+                assert np.all(node.lower >= lo)
+                assert np.all(node.upper <= hi)
+
+    def test_huge_region_no_nan(self, tiny_model, tiny_sentence):
+        graph, _, logits = build_transformer_graph(tiny_model,
+                                                   len(tiny_sentence))
+        emb = tiny_model.embed_array(tiny_sentence)
+        interval_propagate(graph, emb - 1e4, emb + 1e4)
+        assert not np.any(np.isnan(logits.lower))
+        assert not np.any(np.isnan(logits.upper))
+
+
+def check_planes(fn, relax, lower, upper, rng, n=200, **kwargs):
+    a_l, b_l, a_u, b_u = relax(lower, upper, **kwargs)
+    xs = lower + (upper - lower) * rng.uniform(0, 1, (n,) + lower.shape)
+    values = fn(xs)
+    assert np.all(a_l * xs + b_l <= values + 1e-9), "lower plane violated"
+    assert np.all(a_u * xs + b_u >= values - 1e-9), "upper plane violated"
+
+
+class TestRelaxations:
+    def test_relu_planes(self, rng):
+        lower = rng.uniform(-2, 1, 40)
+        upper = lower + rng.uniform(0.01, 2, 40)
+        check_planes(lambda x: np.maximum(x, 0), relu_relaxation, lower,
+                     upper, rng)
+
+    def test_tanh_planes(self, rng):
+        lower = rng.uniform(-3, 2, 40)
+        upper = lower + rng.uniform(0.01, 3, 40)
+        check_planes(np.tanh, tanh_relaxation, lower, upper, rng)
+
+    def test_exp_planes(self, rng):
+        lower = rng.uniform(-3, 1, 40)
+        upper = lower + rng.uniform(0.01, 2, 40)
+        check_planes(np.exp, exp_relaxation, lower, upper, rng)
+
+    def test_exp_overflow_degrades_gracefully(self):
+        a_l, b_l, a_u, b_u = exp_relaxation(np.array([0.0]),
+                                            np.array([1000.0]))
+        assert np.isfinite(a_l[0]) and np.isfinite(b_l[0])
+        assert b_u[0] == np.inf and a_u[0] == 0.0
+
+    def test_reciprocal_planes(self, rng):
+        lower = rng.uniform(0.1, 2, 40)
+        upper = lower + rng.uniform(0.01, 3, 40)
+        check_planes(lambda x: 1.0 / x, reciprocal_relaxation, lower,
+                     upper, rng)
+
+    def test_reciprocal_zero_lower_vacuous(self):
+        a_l, b_l, a_u, b_u = reciprocal_relaxation(np.array([0.0]),
+                                                   np.array([2.0]))
+        assert b_l[0] == 0.0 and b_u[0] == np.inf
+
+    def test_reciprocal_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reciprocal_relaxation(np.array([-1.0]), np.array([1.0]))
+
+    def test_rsqrt_planes(self, rng):
+        lower = rng.uniform(0.0, 2, 40)
+        upper = lower + rng.uniform(0.01, 2, 40)
+        check_planes(lambda x: 1.0 / np.sqrt(x + 0.3), rsqrt_relaxation,
+                     lower, upper, rng, shift=0.3)
+
+    def test_unary_dispatch(self, rng):
+        lower = np.array([0.5])
+        upper = np.array([1.5])
+        direct = reciprocal_relaxation(lower, upper)
+        via = unary_relaxation("reciprocal", lower, upper)
+        for a, b in zip(direct, via):
+            np.testing.assert_allclose(a, b)
+        rs = unary_relaxation("rsqrt", lower, upper, {"shift": 0.1})
+        assert len(rs) == 4
+
+    def test_point_intervals_exact(self):
+        x = np.array([0.7])
+        for relax, fn in ((tanh_relaxation, np.tanh),
+                          (exp_relaxation, np.exp),
+                          (reciprocal_relaxation, lambda v: 1 / v)):
+            a_l, b_l, a_u, b_u = relax(x, x)
+            assert b_l[0] == pytest.approx(fn(x)[0])
+            assert b_u[0] == pytest.approx(fn(x)[0])
+
+
+class TestMcCormick:
+    def test_planes_bound_products(self, rng):
+        lx = rng.uniform(-2, 1, 30)
+        ux = lx + rng.uniform(0.01, 2, 30)
+        lz = rng.uniform(-2, 1, 30)
+        uz = lz + rng.uniform(0.01, 2, 30)
+        al_x, al_z, gl, au_x, au_z, gu = mul_relaxation(lx, ux, lz, uz)
+        for _ in range(200):
+            x = lx + (ux - lx) * rng.uniform(0, 1, 30)
+            z = lz + (uz - lz) * rng.uniform(0, 1, 30)
+            product = x * z
+            assert np.all(al_x * x + al_z * z + gl <= product + 1e-9)
+            assert np.all(au_x * x + au_z * z + gu >= product - 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2 ** 31))
+    def test_property_mccormick_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        lx, lz = rng.uniform(-5, 5, 2)
+        ux = lx + rng.uniform(0, 5)
+        uz = lz + rng.uniform(0, 5)
+        planes = mul_relaxation(np.array([lx]), np.array([ux]),
+                                np.array([lz]), np.array([uz]))
+        al_x, al_z, gl, au_x, au_z, gu = planes
+        x = rng.uniform(lx, ux)
+        z = rng.uniform(lz, uz)
+        assert al_x[0] * x + al_z[0] * z + gl[0] <= x * z + 1e-9
+        assert au_x[0] * x + au_z[0] * z + gu[0] >= x * z - 1e-9

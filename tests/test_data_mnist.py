@@ -1,0 +1,64 @@
+"""Tests for the procedural digit dataset (MNIST stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (render_digit, make_digit_dataset,
+                        make_binary_digit_dataset)
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self, rng):
+        image = render_digit(3, size=14, rng=rng)
+        assert image.shape == (14, 14)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_all_digits_renderable(self, rng):
+        for digit in range(10):
+            image = render_digit(digit, size=10, rng=rng)
+            assert image.max() > 0.5  # strokes actually drawn
+
+    def test_unknown_digit_rejected(self, rng):
+        with pytest.raises(ValueError):
+            render_digit(11, rng=rng)
+
+    def test_jitter_varies_samples(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(5, rng=rng)
+        b = render_digit(5, rng=rng)
+        assert not np.allclose(a, b)
+
+    def test_classes_distinguishable(self, rng):
+        """Different digits differ more than resamples of one digit."""
+        ones = [render_digit(1, rng=rng, noise=0.0) for _ in range(5)]
+        eights = [render_digit(8, rng=rng, noise=0.0) for _ in range(5)]
+        within = np.mean([np.abs(a - b).mean()
+                          for a in ones for b in ones])
+        across = np.mean([np.abs(a - b).mean()
+                          for a in ones for b in eights])
+        assert across > within
+
+
+class TestDatasets:
+    def test_digit_dataset_shapes(self):
+        images, labels = make_digit_dataset(n_per_class=3, size=10,
+                                            classes=(0, 1, 2), seed=0)
+        assert images.shape == (9, 10, 10)
+        assert sorted(set(labels)) == [0, 1, 2]
+
+    def test_shuffled(self):
+        _, labels = make_digit_dataset(n_per_class=10, classes=(0, 1),
+                                       seed=0)
+        # Not sorted by class after shuffling.
+        assert not np.all(labels[:10] == 0)
+
+    def test_binary_dataset_labels(self):
+        images, labels = make_binary_digit_dataset(digits=(1, 7),
+                                                   n_per_class=5, seed=0)
+        assert set(labels) == {0, 1}
+        assert labels.sum() == 5
+
+    def test_deterministic(self):
+        a, _ = make_digit_dataset(n_per_class=2, seed=4)
+        b, _ = make_digit_dataset(n_per_class=2, seed=4)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,87 @@
+"""Tests for the experiment harness utilities (not the heavy table runs —
+those live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (ExperimentScale, SCALE, RadiusReport,
+                                       format_radius_row,
+                                       evaluation_sentences, get_corpus,
+                                       _positions_for)
+from repro.experiments.tables import run_figure4
+
+
+class TestScale:
+    def test_defaults_sane(self):
+        assert SCALE.embed_dim >= 8
+        assert SCALE.noise_symbol_cap > 0
+
+    def test_custom_scale(self):
+        scale = ExperimentScale(embed_dim=8, n_train=50)
+        assert scale.embed_dim == 8
+        assert scale.n_train == 50
+
+
+class TestRadiusReport:
+    def test_statistics(self):
+        report = RadiusReport(name="x", radii=[0.1, 0.3, 0.2], seconds=1.5)
+        assert report.min_radius == pytest.approx(0.1)
+        assert report.avg_radius == pytest.approx(0.2)
+
+    def test_empty(self):
+        report = RadiusReport(name="x")
+        assert report.min_radius == 0.0
+        assert report.avg_radius == 0.0
+
+    def test_format_row(self):
+        report = RadiusReport(name="x", radii=[0.5], seconds=2.0)
+        row = format_radius_row("M=3", [report, report])
+        assert "M=3" in row and row.count("0.5000") == 4
+
+
+class TestEvaluationProtocol:
+    def test_sentences_correctly_classified(self, tiny_model, tiny_corpus):
+        sentences = evaluation_sentences(tiny_model, tiny_corpus, 3)
+        assert 1 <= len(sentences) <= 3
+        for seq in sentences:
+            label = None
+            for s, lab in zip(tiny_corpus.test_sequences,
+                              tiny_corpus.test_labels):
+                if s == seq:
+                    label = int(lab)
+                    break
+            assert tiny_model.predict(seq) == label
+
+    def test_positions_skip_cls(self):
+        positions = _positions_for(list(range(6)), 3, seed=0)
+        assert 0 not in positions
+        assert len(positions) == 3
+
+    def test_positions_capped_by_length(self):
+        positions = _positions_for([0, 1], 5, seed=0)
+        assert positions == [1]
+
+    def test_corpus_cache_returns_same_object(self):
+        scale = ExperimentScale(n_train=20, n_test=5, seed=9)
+        a = get_corpus("sst-small", scale)
+        b = get_corpus("sst-small", scale)
+        assert a is b
+
+
+class TestFigure4:
+    def test_reproduces_paper_geometry(self):
+        result = run_figure4(n_samples=300)
+        lower, upper = result["bounds"]
+        # x = 4 ± (sqrt(2) + 3), y = 3 ± (sqrt(2) + 2) per Theorem 1.
+        assert lower[0] == pytest.approx(4 - np.sqrt(2) - 3)
+        assert upper[0] == pytest.approx(4 + np.sqrt(2) + 3)
+        assert lower[1] == pytest.approx(3 - np.sqrt(2) - 2)
+        assert upper[1] == pytest.approx(3 + np.sqrt(2) + 2)
+        c_lower, c_upper = result["classical_bounds"]
+        # Dropping the phi symbols yields the inner classical zonotope.
+        np.testing.assert_allclose(c_lower, [1.0, 1.0])
+        np.testing.assert_allclose(c_upper, [7.0, 5.0])
+        # Samples all inside the multi-norm bounds.
+        points = result["points"]
+        assert np.all(points >= lower - 1e-9)
+        assert np.all(points <= upper + 1e-9)

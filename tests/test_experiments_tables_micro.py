@@ -1,0 +1,73 @@
+"""Micro-scale smoke runs of the table runners.
+
+The full paper-shaped runs live in benchmarks/; here each runner executes
+at a deliberately tiny scale (1-layer models, one sentence, few bisection
+steps) so its code path — training cache, radius protocol, printing,
+result structure — is covered by the fast test suite.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+os.environ["REPRO_NO_RECORD"] = "1"  # micro runs must not clobber
+                                     # benchmarks/results artifacts
+
+from repro.experiments.harness import ExperimentScale
+from repro.experiments.tables import (_fast_vs_baf, run_table6, run_table9,
+                                      run_table10, run_table13,
+                                      run_table14, run_figure4)
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    return ExperimentScale(embed_dim=8, n_heads=2, hidden_dim=8,
+                           max_len=16, n_train=80, n_test=20, epochs=4,
+                           n_sentences=1, n_positions=1,
+                           search_iterations=3, noise_symbol_cap=48,
+                           precise_symbol_cap=32, baf_depth=10, seed=2)
+
+
+class TestFastVsBafEngine:
+    def test_single_layer_row(self, micro_scale, capsys):
+        result = _fast_vs_baf("sst-small", micro_scale, (1,), ("l2",),
+                              title="micro")
+        rows = result["rows"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["deept"].radii and row["crown"].radii
+        assert row["deept"].seconds > 0
+        printed = capsys.readouterr().out
+        assert "micro" in printed and "M=1" in printed
+
+
+class TestAblationRunners:
+    def test_table6_micro(self, micro_scale):
+        result = run_table6(scale=micro_scale, layers=(1,))
+        assert len(result["rows"]) == 2  # l1 and l2
+        for row in result["rows"]:
+            assert np.isfinite(row["change_percent"])
+
+    def test_table13_micro(self, micro_scale):
+        result = run_table13(scale=micro_scale, layers=(1,))
+        for row in result["rows"]:
+            assert row["with_refinement"].avg_radius >= 0
+            assert np.isfinite(row["change_percent"])
+
+    def test_table14_micro(self, micro_scale):
+        result = run_table14(scale=micro_scale, layers=(1,))
+        row = result["rows"][0]
+        assert row["combined"].radii
+        assert row["backward"].radii
+
+
+class TestStandaloneRunners:
+    def test_table10_micro(self):
+        result = run_table10(n_images=1, node_limit=150)
+        assert result["rows"][0]["zonotope_radius"] >= 0
+        assert result["rows"][0]["complete_radius"] >= 0
+
+    def test_figure4_structure(self):
+        result = run_figure4(n_samples=100)
+        assert result["points"].shape == (100, 2)

@@ -1,0 +1,117 @@
+"""GELU support in the CROWN baseline + quantitative precision checks."""
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.baselines import CrownVerifier, LpBallInputRegion
+from repro.baselines.graph import Graph, interval_propagate
+from repro.baselines.relaxations import gelu_relaxation
+from repro.nn import TransformerClassifier, train_transformer
+from repro.zonotope import MultiNormZonotope, relu, tanh
+
+from tests.conftest import sample_lp_ball
+
+
+def gelu_fn(x):
+    return x * norm.cdf(x)
+
+
+class TestGeluRelaxation:
+    def test_planes_bound_function(self, rng):
+        lower = rng.uniform(-3, 1, 40)
+        upper = lower + rng.uniform(0.01, 3, 40)
+        a_l, b_l, a_u, b_u = gelu_relaxation(lower, upper)
+        xs = lower + (upper - lower) * rng.uniform(0, 1, (300, 40))
+        values = gelu_fn(xs)
+        assert np.all(a_l * xs + b_l <= values + 1e-9)
+        assert np.all(a_u * xs + b_u >= values - 1e-9)
+
+    def test_gelu_ibp_covers_dip(self, rng):
+        graph = Graph()
+        x = graph.input((3,))
+        out = graph.unary("gelu", x)
+        center = np.array([-0.75, 2.0, -3.0])
+        region = LpBallInputRegion(center, 0.5, np.inf)
+        interval_propagate(graph, *region.interval())
+        for _ in range(200):
+            v = center + rng.uniform(-0.5, 0.5, 3)
+            y = gelu_fn(v)
+            assert np.all(y >= out.lower - 1e-9)
+            assert np.all(y <= out.upper + 1e-9)
+
+    def test_crown_verifies_gelu_network(self, tiny_corpus, rng):
+        model = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                      n_heads=2, hidden_dim=8, n_layers=1,
+                                      max_len=16, seed=9,
+                                      activation="gelu")
+        train_transformer(model, tiny_corpus.train_sequences,
+                          tiny_corpus.train_labels, epochs=4, lr=2e-3)
+        sequence = tiny_corpus.test_sequences[0]
+        emb = model.embed_array(sequence)
+        mask = np.zeros(emb.shape, dtype=bool)
+        mask[1] = True
+        region = LpBallInputRegion(emb, 0.02, 2, mask)
+        true = model.predict(sequence)
+        margin = CrownVerifier(model, backsub_depth=30) \
+            .margin_lower_bound(region, true)
+        for _ in range(100):
+            delta = sample_lp_ball(rng, emb.shape[1], 2, 0.02)
+            perturbed = emb.copy()
+            perturbed[1] += delta
+            out = model.logits_from_embedding_array(perturbed)
+            assert margin <= out[true] - out[1 - true] + 1e-7
+
+
+class TestQuantitativePrecision:
+    """Area-optimality spot checks of the minimal-area transformers."""
+
+    def test_relu_band_width_matches_theory(self):
+        """Crossing ReLU: the band height is exactly
+        max(-lam*l, (1-lam)*u) (Eq. 2)."""
+        lower, upper = -1.0, 3.0
+        z = MultiNormZonotope(np.array([(lower + upper) / 2]),
+                              eps=np.array([[(upper - lower) / 2]]))
+        out = relu(z)
+        lam = upper / (upper - lower)
+        expected_beta = 0.5 * max(-lam * lower, (1 - lam) * upper)
+        fresh = out.eps[-1, 0]
+        assert fresh == pytest.approx(expected_beta)
+
+    def test_tanh_band_tighter_than_interval(self, rng):
+        """The relational transformer beats the best constant box."""
+        z = MultiNormZonotope(np.array([0.3]), eps=np.array([[0.8]]))
+        out = tanh(z)
+        lower, upper = out.bounds()
+        box_width = np.tanh(1.1) - np.tanh(-0.5)
+        # The zonotope output width can exceed the box slightly, but after
+        # subtracting the relational part (lam * input) the fresh-symbol
+        # width must be smaller than the box.
+        fresh_width = 2 * abs(out.eps[-1, 0])
+        assert fresh_width < box_width
+
+    def test_precise_dot_product_strictly_better_sometimes(self, rng):
+        """There exist inputs where Eq. 6 is strictly tighter than Eq. 5
+        (the epsilon^2 >= 0 information)."""
+        from repro.zonotope import zonotope_matmul, DotProductConfig
+        a = MultiNormZonotope(np.zeros((1, 2)),
+                              eps=np.array([[[1.0, 0.0]], [[0.0, 1.0]]]))
+        b = MultiNormZonotope(np.zeros((2, 1)),
+                              eps=np.array([[[1.0], [0.0]],
+                                            [[0.0], [1.0]]]))
+        fast = zonotope_matmul(a, b, DotProductConfig(variant="fast"))
+        precise = zonotope_matmul(a, b, DotProductConfig(variant="precise"))
+        w_fast = float(np.subtract(*fast.bounds()[::-1]).sum())
+        w_precise = float(np.subtract(*precise.bounds()[::-1]).sum())
+        assert w_precise < w_fast
+
+    def test_refinement_gain_positive_on_spread_softmax(self, rng):
+        from repro.zonotope import softmax
+        scores = MultiNormZonotope(
+            rng.normal(size=(2, 4)),
+            eps=rng.normal(size=(3, 2, 4)) * 0.4, p=np.inf)
+        plain = softmax(scores)
+        refined, _ = softmax(scores, refine_sum=True)
+        w_plain = np.subtract(*plain.bounds()[::-1]).sum()
+        w_refined = np.subtract(*refined.bounds()[::-1]).sum()
+        assert w_refined <= w_plain + 1e-12

@@ -1,0 +1,191 @@
+"""Tests for the NLP substrate: vocabulary, corpora, synonym attacks."""
+
+import numpy as np
+import pytest
+
+from repro.nlp import (Vocabulary, CLS_TOKEN, PAD_TOKEN, UNK_TOKEN,
+                       make_corpus, CORPUS_PRESETS, make_synonym_challenge,
+                       build_synonym_attack, combination_count,
+                       tie_synonym_embeddings)
+from repro.nn import TransformerClassifier
+
+
+class TestVocabulary:
+    def test_special_tokens_present(self):
+        vocab = Vocabulary()
+        for token in (CLS_TOKEN, PAD_TOKEN, UNK_TOKEN):
+            assert token in vocab
+
+    def test_size_accounts_for_groups(self):
+        vocab = Vocabulary(n_positive_groups=3, n_negative_groups=2,
+                           n_neutral_words=5, group_size=4)
+        assert len(vocab) == 3 + 3 * 4 + 2 * 4 + 5
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary()
+        words = [vocab.positive_groups[0][0], vocab.neutral_words[0]]
+        ids = vocab.encode(words, add_cls=False)
+        assert vocab.decode(ids) == words
+
+    def test_encode_prepends_cls(self):
+        vocab = Vocabulary()
+        ids = vocab.encode([vocab.neutral_words[0]])
+        assert ids[0] == vocab.cls_id
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.id_of("nonexistent-word") == vocab.id_of(UNK_TOKEN)
+
+    def test_synonyms_exclude_self_and_are_symmetric(self):
+        vocab = Vocabulary()
+        word = vocab.positive_groups[0][0]
+        synonyms = vocab.synonyms(word)
+        assert word not in synonyms
+        assert len(synonyms) == vocab.group_size - 1
+        for other in synonyms:
+            assert word in vocab.synonyms(other)
+
+    def test_neutral_words_have_no_synonyms(self):
+        vocab = Vocabulary()
+        assert vocab.synonyms(vocab.neutral_words[0]) == []
+
+    def test_synonym_ids(self):
+        vocab = Vocabulary()
+        word = vocab.negative_groups[1][2]
+        ids = vocab.synonym_ids(vocab.id_of(word))
+        assert vocab.id_of(word) not in ids
+        assert len(ids) == vocab.group_size - 1
+
+    def test_polar_word_ids_cover_all_groups(self):
+        vocab = Vocabulary(n_positive_groups=2, n_negative_groups=2,
+                           group_size=3)
+        assert len(vocab.polar_word_ids()) == 4 * 3
+
+
+class TestCorpus:
+    def test_presets_exist(self):
+        assert "sst-small" in CORPUS_PRESETS
+        assert "yelp-large" in CORPUS_PRESETS
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            make_corpus("imdb")
+
+    def test_split_sizes(self):
+        ds = make_corpus("sst-small", n_train=30, n_test=10, seed=0)
+        assert len(ds.train_sequences) == 30
+        assert len(ds.test_sequences) == 10
+        assert len(ds) == 40
+
+    def test_labels_balanced(self):
+        ds = make_corpus("sst-small", n_train=40, n_test=10, seed=0)
+        assert ds.train_labels.sum() == 20
+
+    def test_sequences_start_with_cls(self):
+        ds = make_corpus("sst-small", n_train=10, n_test=2, seed=0)
+        for seq in ds.train_sequences:
+            assert seq[0] == ds.vocab.cls_id
+
+    def test_lengths_respect_preset(self):
+        cfg = CORPUS_PRESETS["sst-small"]
+        ds = make_corpus("sst-small", n_train=50, n_test=5, seed=0)
+        for tokens in ds.train_tokens:
+            assert cfg["min_len"] <= len(tokens) <= cfg["max_len"]
+
+    def test_deterministic_given_seed(self):
+        a = make_corpus("sst-small", n_train=10, n_test=2, seed=3)
+        b = make_corpus("sst-small", n_train=10, n_test=2, seed=3)
+        assert a.train_sequences == b.train_sequences
+
+    def test_yelp_longer_than_sst(self):
+        sst = make_corpus("sst-small", n_train=50, n_test=5, seed=0)
+        yelp = make_corpus("yelp-large", n_train=50, n_test=5, seed=0)
+        mean_sst = np.mean([len(s) for s in sst.train_sequences])
+        mean_yelp = np.mean([len(s) for s in yelp.train_sequences])
+        assert mean_yelp > mean_sst
+        assert len(yelp.vocab) > len(sst.vocab)
+
+
+class TestSynonymChallenge:
+    def test_combination_floor(self):
+        vocab = Vocabulary(group_size=4)
+        sequences, labels = make_synonym_challenge(vocab, n_sentences=6,
+                                                   n_polar=8, seed=0)
+        assert len(sequences) == 6
+        for seq in sequences:
+            polar = sum(1 for tid in seq if vocab.synonym_ids(tid))
+            assert polar == 8  # 4^8 = 65536 >= the paper's 32000 floor
+
+    def test_labels_alternate(self):
+        vocab = Vocabulary()
+        _, labels = make_synonym_challenge(vocab, n_sentences=4, seed=0)
+        assert set(labels) == {0, 1}
+
+
+class TestSynonymAttack:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        vocab = Vocabulary(n_positive_groups=3, n_negative_groups=3,
+                           n_neutral_words=6, group_size=3)
+        model = TransformerClassifier(len(vocab), embed_dim=8, n_heads=2,
+                                      hidden_dim=8, n_layers=1, max_len=12)
+        words = [vocab.positive_groups[0][0], vocab.neutral_words[0],
+                 vocab.positive_groups[1][1]]
+        sequence = vocab.encode(words)
+        return vocab, model, sequence
+
+    def test_combination_count(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        # Two polar words with 2 substitutes each: 3 * 3 = 9 combinations.
+        assert attack.n_combinations == 9
+        assert combination_count(attack.substitutions) == 9
+
+    def test_cls_never_substituted(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        assert attack.substitutions[0] == []
+
+    def test_box_covers_every_combination(self, setup, rng):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        lower = attack.center - attack.radius
+        upper = attack.center + attack.radius
+        for combo in attack.iter_combinations():
+            emb = model.embed_array(combo)
+            assert np.all(emb >= lower - 1e-12)
+            assert np.all(emb <= upper + 1e-12)
+
+    def test_iter_combinations_exhaustive_and_unique(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        combos = [tuple(c) for c in attack.iter_combinations()]
+        assert len(combos) == 9
+        assert len(set(combos)) == 9
+        assert tuple(sequence) in combos
+
+    def test_iter_combinations_limit(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        assert len(list(attack.iter_combinations(limit=4))) == 4
+
+    def test_max_substitutions_cap(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence,
+                                      max_substitutions=1)
+        assert attack.n_combinations == 4
+
+    def test_perturbed_positions(self, setup):
+        vocab, model, sequence = setup
+        attack = build_synonym_attack(model, vocab, sequence)
+        assert attack.perturbed_positions() == [1, 3]
+
+    def test_tie_synonym_embeddings_shrinks_boxes(self, setup):
+        vocab, _, sequence = setup
+        model = TransformerClassifier(len(vocab), embed_dim=8, n_heads=2,
+                                      hidden_dim=8, n_layers=1, max_len=12,
+                                      seed=5)
+        before = build_synonym_attack(model, vocab, sequence)
+        tie_synonym_embeddings(model, vocab, jitter=0.001)
+        after = build_synonym_attack(model, vocab, sequence)
+        assert after.radius.max() < before.radius.max()

@@ -1,0 +1,161 @@
+"""Edge-case and robustness tests across the stack.
+
+These cover the corners that production users hit: degenerate inputs,
+overflow regimes, state_dict round trips through deep structures, and the
+exact semantics of the radius search at its boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import TransformerClassifier
+from repro.verify import (DeepTVerifier, FAST, binary_search_radius,
+                          propagate_classifier, word_perturbation_region)
+from repro.zonotope import MultiNormZonotope, exp, relu, zonotope_matmul, \
+    DotProductConfig
+
+
+class TestOverflowRegimes:
+    def test_exp_of_huge_region_gives_vacuous_not_nan(self):
+        z = MultiNormZonotope(np.array([0.0]), eps=np.array([[1e6]]))
+        out = exp(z)
+        lower, upper = out.bounds()
+        assert not np.isnan(lower[0]) and not np.isnan(upper[0])
+        assert upper[0] == np.inf  # genuinely unbounded above
+
+    def test_chained_exp_overflow_stays_ordered(self):
+        z = MultiNormZonotope(np.array([2.0]), eps=np.array([[1.0]]))
+        out = exp(exp(exp(z)))
+        lower, upper = out.bounds()
+        assert lower[0] <= upper[0]
+        assert not np.isnan(lower[0])
+
+    def test_certification_fails_gracefully_on_absurd_radius(
+            self, tiny_model, tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=32))
+        result = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                    1e9, 2)
+        assert result.certified is False
+
+    def test_matmul_of_overflowed_operands(self):
+        big = MultiNormZonotope(np.full((2, 2), 1e200),
+                                eps=np.full((1, 2, 2), 1e200))
+        out = zonotope_matmul(big, big, DotProductConfig())
+        lower, upper = out.bounds()
+        assert not np.any(np.isnan(lower))
+        assert not np.any(np.isnan(upper))
+
+
+class TestDegenerateInputs:
+    def test_single_token_sentence(self, tiny_model):
+        sequence = [1]  # just [CLS]
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=32))
+        result = verifier.certify_word_perturbation(sequence, 0, 1e-6, 2)
+        assert isinstance(result.certified, bool)
+
+    def test_two_token_propagation_sound(self, tiny_model, rng):
+        sequence = [1, 5]
+        region = word_perturbation_region(tiny_model, sequence, 1, 0.05, 2)
+        logits = propagate_classifier(tiny_model, region,
+                                      FAST(noise_symbol_cap=32))
+        lower, upper = logits.bounds()
+        emb = tiny_model.embed_array(sequence)
+        for _ in range(60):
+            delta = rng.normal(size=emb.shape[1])
+            delta = delta / np.linalg.norm(delta) * rng.uniform(0, 0.05)
+            perturbed = emb.copy()
+            perturbed[1] += delta
+            out = tiny_model.logits_from_embedding_array(perturbed)
+            assert np.all(out >= lower - 1e-7)
+            assert np.all(out <= upper + 1e-7)
+
+    def test_relu_of_all_zero_zonotope(self):
+        z = MultiNormZonotope(np.zeros(3))
+        out = relu(z)
+        np.testing.assert_allclose(out.center, 0.0)
+
+    def test_zonotope_with_zero_sized_variables(self):
+        z = MultiNormZonotope(np.zeros((0, 4)))
+        lower, upper = z.bounds()
+        assert lower.shape == (0, 4)
+
+
+class TestRadiusSearchBoundaries:
+    def test_threshold_below_initial(self):
+        radius = binary_search_radius(lambda r: r <= 0.002, initial=0.01,
+                                      n_iterations=16)
+        assert radius == pytest.approx(0.002, rel=0.05)
+
+    def test_threshold_exactly_initial(self):
+        radius = binary_search_radius(lambda r: r <= 0.01, initial=0.01,
+                                      n_iterations=12)
+        assert radius == pytest.approx(0.01, rel=0.01)
+
+    def test_tiny_threshold_found_or_zero(self):
+        # Far below the shrink loop's reach: must return 0, not loop.
+        radius = binary_search_radius(lambda r: r <= 1e-12, initial=0.01,
+                                      n_iterations=8)
+        assert radius <= 1e-4
+
+    def test_max_radius_cap_respected(self):
+        radius = binary_search_radius(lambda r: True, initial=1.0,
+                                      max_radius=100.0, n_iterations=4)
+        assert radius <= 400.0  # bracketing stops past the cap
+
+
+class TestStateDictDeep:
+    def test_full_transformer_roundtrip(self, tiny_corpus):
+        a = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                  n_heads=2, hidden_dim=8, n_layers=2,
+                                  max_len=16, seed=1)
+        b = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                  n_heads=2, hidden_dim=8, n_layers=2,
+                                  max_len=16, seed=2)
+        sequence = tiny_corpus.test_sequences[0]
+        with no_grad():
+            before = b.forward(sequence).data.copy()
+        b.load_state_dict(a.state_dict())
+        with no_grad():
+            after_a = a.forward(sequence).data
+            after_b = b.forward(sequence).data
+        np.testing.assert_allclose(after_a, after_b)
+        assert not np.allclose(before, after_b)
+
+    def test_state_dict_covers_position_embeddings(self, tiny_corpus):
+        model = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                      n_heads=2, hidden_dim=8, n_layers=1,
+                                      max_len=16)
+        state = model.state_dict()
+        assert any("position_embedding" in key for key in state)
+        assert any("layers.0" in key for key in state)
+
+    def test_load_rejects_shape_mismatch(self, tiny_corpus):
+        a = TransformerClassifier(len(tiny_corpus.vocab), embed_dim=8,
+                                  n_heads=2, hidden_dim=8, n_layers=1,
+                                  max_len=16)
+        state = a.state_dict()
+        bad = {k: v[:1] if v.ndim else v for k, v in state.items()}
+        with pytest.raises((ValueError, KeyError)):
+            a.load_state_dict(bad)
+
+
+class TestVerifierStatefulness:
+    def test_repeated_queries_are_deterministic(self, tiny_model,
+                                                tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=32))
+        first = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                   0.02, 2)
+        second = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                    0.02, 2)
+        assert first.margin_lower == second.margin_lower
+
+    def test_verifier_does_not_mutate_model(self, tiny_model,
+                                            tiny_sentence):
+        before = {k: v.copy()
+                  for k, v in tiny_model.state_dict().items()}
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=32))
+        verifier.certify_word_perturbation(tiny_sentence, 1, 0.05, 2)
+        after = tiny_model.state_dict()
+        for key, value in before.items():
+            np.testing.assert_array_equal(value, after[key])

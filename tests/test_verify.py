@@ -1,0 +1,267 @@
+"""Tests for the DeepT verifier: regions, propagation, certification,
+radius search, and the MLP variant (A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.verify import (DeepTVerifier, VerifierConfig, FAST, PRECISE,
+                          COMBINED, propagate_classifier,
+                          word_perturbation_region, synonym_attack_region,
+                          image_perturbation_region, binary_search_radius,
+                          max_certified_radius)
+from repro.verify.mlp import MlpZonotopeVerifier, propagate_mlp
+from repro.zonotope import MultiNormZonotope
+from repro.nlp import build_synonym_attack
+
+from tests.conftest import sample_lp_ball
+
+
+class TestVerifierConfig:
+    def test_presets(self):
+        assert FAST().dot_product_variant == "fast"
+        assert PRECISE().dot_product_variant == "precise"
+        assert COMBINED().dot_product_variant == "combined"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            VerifierConfig(dot_product_variant="hyper")
+        with pytest.raises(ValueError):
+            VerifierConfig(dual_norm_order="diagonal")
+
+    def test_combined_uses_precise_last_layer(self):
+        config = COMBINED()
+        assert config.variant_for_layer(0, 3) == "fast"
+        assert config.variant_for_layer(2, 3) == "precise"
+
+    def test_last_layer_cap(self):
+        config = VerifierConfig(noise_symbol_cap=100, last_layer_cap=50)
+        assert config.cap_for_layer(0, 3) == 100
+        assert config.cap_for_layer(2, 3) == 50
+
+
+class TestRegions:
+    def test_word_region_masks_one_row(self, tiny_model, tiny_sentence):
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          0.1, 2)
+        lower, upper = region.bounds()
+        emb = tiny_model.embed_array(tiny_sentence)
+        np.testing.assert_allclose(lower[0], emb[0])
+        assert np.all(upper[1] > emb[1])
+
+    def test_word_region_position_validation(self, tiny_model,
+                                              tiny_sentence):
+        with pytest.raises(ValueError):
+            word_perturbation_region(tiny_model, tiny_sentence, 99, 0.1, 2)
+
+    def test_synonym_region_covers_combinations(self, tiny_model,
+                                                tiny_corpus, tiny_sentence):
+        attack = build_synonym_attack(tiny_model, tiny_corpus.vocab,
+                                      tiny_sentence)
+        region = synonym_attack_region(attack)
+        lower, upper = region.bounds()
+        for combo in attack.iter_combinations(limit=20):
+            emb = tiny_model.embed_array(combo)
+            assert np.all(emb >= lower - 1e-12)
+            assert np.all(emb <= upper + 1e-12)
+
+    def test_image_region_soundness(self, rng):
+        from repro.nn import VisionTransformerClassifier
+        model = VisionTransformerClassifier(image_size=8, patch_size=4,
+                                            embed_dim=8, n_heads=2,
+                                            hidden_dim=16, n_layers=1)
+        image = rng.uniform(size=(8, 8))
+        region = image_perturbation_region(model, image, 0.05, np.inf)
+        lower, upper = region.bounds()
+        for _ in range(50):
+            perturbed = image + rng.uniform(-0.05, 0.05, image.shape)
+            emb = model.embed_array(perturbed)
+            assert np.all(emb >= lower - 1e-9)
+            assert np.all(emb <= upper + 1e-9)
+
+
+class TestPropagationSoundness:
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    def test_sound_vs_sampled_concrete(self, tiny_model, tiny_sentence,
+                                       rng, p):
+        radius = 0.04
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          radius, p)
+        logits = propagate_classifier(tiny_model, region,
+                                      FAST(noise_symbol_cap=64))
+        lower, upper = logits.bounds()
+        emb = tiny_model.embed_array(tiny_sentence)
+        dim = emb.shape[1]
+        for _ in range(100):
+            delta = sample_lp_ball(rng, dim, p, radius)
+            perturbed = emb.copy()
+            perturbed[1] += delta
+            out = tiny_model.logits_from_embedding_array(perturbed)
+            assert np.all(out >= lower - 1e-7)
+            assert np.all(out <= upper + 1e-7)
+
+    @pytest.mark.parametrize("variant", ["fast", "precise", "combined"])
+    def test_all_variants_sound(self, tiny_model, tiny_sentence, rng,
+                                variant):
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          0.03, np.inf)
+        config = VerifierConfig(dot_product_variant=variant,
+                                noise_symbol_cap=64, last_layer_cap=48)
+        logits = propagate_classifier(tiny_model, region, config)
+        lower, upper = logits.bounds()
+        emb = tiny_model.embed_array(tiny_sentence)
+        for _ in range(60):
+            perturbed = emb.copy()
+            perturbed[1] += rng.uniform(-0.03, 0.03, emb.shape[1])
+            out = tiny_model.logits_from_embedding_array(perturbed)
+            assert np.all(out >= lower - 1e-7)
+            assert np.all(out <= upper + 1e-7)
+
+    def test_refinement_off_still_sound(self, tiny_model, tiny_sentence,
+                                        rng):
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          0.03, 2)
+        config = FAST(noise_symbol_cap=64, softmax_sum_refinement=False)
+        logits = propagate_classifier(tiny_model, region, config)
+        lower, upper = logits.bounds()
+        emb = tiny_model.embed_array(tiny_sentence)
+        for _ in range(60):
+            delta = sample_lp_ball(rng, emb.shape[1], 2, 0.03)
+            perturbed = emb.copy()
+            perturbed[1] += delta
+            out = tiny_model.logits_from_embedding_array(perturbed)
+            assert np.all(out >= lower - 1e-7)
+            assert np.all(out <= upper + 1e-7)
+
+    def test_std_layer_norm_sound(self, tiny_model_std_norm, tiny_sentence,
+                                  rng):
+        region = word_perturbation_region(tiny_model_std_norm,
+                                          tiny_sentence, 1, 0.02, 2)
+        logits = propagate_classifier(tiny_model_std_norm, region,
+                                      FAST(noise_symbol_cap=64))
+        lower, upper = logits.bounds()
+        emb = tiny_model_std_norm.embed_array(tiny_sentence)
+        for _ in range(60):
+            delta = sample_lp_ball(rng, emb.shape[1], 2, 0.02)
+            perturbed = emb.copy()
+            perturbed[1] += delta
+            out = tiny_model_std_norm.logits_from_embedding_array(perturbed)
+            assert np.all(out >= lower - 1e-7)
+            assert np.all(out <= upper + 1e-7)
+
+    def test_zero_radius_is_concrete_forward(self, tiny_model,
+                                             tiny_sentence):
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          0.0, 2)
+        logits = propagate_classifier(tiny_model, region, FAST())
+        lower, upper = logits.bounds()
+        emb = tiny_model.embed_array(tiny_sentence)
+        expected = tiny_model.logits_from_embedding_array(emb)
+        np.testing.assert_allclose(lower, expected, atol=1e-9)
+        np.testing.assert_allclose(upper, expected, atol=1e-9)
+
+    def test_bounds_monotone_in_radius(self, tiny_model, tiny_sentence):
+        widths = []
+        for radius in (0.01, 0.03, 0.09):
+            region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                              radius, 2)
+            logits = propagate_classifier(tiny_model, region,
+                                          FAST(noise_symbol_cap=64))
+            lower, upper = logits.bounds()
+            widths.append((upper - lower).sum())
+        assert widths[0] < widths[1] < widths[2]
+
+
+class TestCertification:
+    def test_certify_small_radius(self, tiny_model, tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        result = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                    1e-4, 2)
+        assert result.certified
+        assert bool(result) is True
+        assert result.margin_lower > 0
+
+    def test_certify_huge_radius_fails(self, tiny_model, tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        result = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                    100.0, 2)
+        assert not result.certified
+
+    def test_margin_matches_concrete_at_zero_radius(self, tiny_model,
+                                                    tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST())
+        result = verifier.certify_word_perturbation(tiny_sentence, 1,
+                                                    0.0, 2)
+        logits = tiny_model.logits_from_embedding_array(
+            tiny_model.embed_array(tiny_sentence))
+        true = tiny_model.predict(tiny_sentence)
+        expected = logits[true] - logits[1 - true]
+        assert result.margin_lower == pytest.approx(expected, abs=1e-9)
+
+    def test_synonym_attack_certification_runs(self, tiny_model,
+                                               tiny_corpus, tiny_sentence):
+        attack = build_synonym_attack(tiny_model, tiny_corpus.vocab,
+                                      tiny_sentence)
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        result = verifier.certify_synonym_attack(attack)
+        assert isinstance(result.certified, bool)
+
+    def test_certification_monotone_in_radius(self, tiny_model,
+                                              tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        margins = [verifier.certify_word_perturbation(
+            tiny_sentence, 1, r, 2).margin_lower
+            for r in (0.001, 0.01, 0.05)]
+        assert margins[0] >= margins[1] >= margins[2]
+
+
+class TestRadiusSearch:
+    def test_binary_search_known_threshold(self):
+        radius = binary_search_radius(lambda r: r <= 0.37, initial=0.01,
+                                      n_iterations=20)
+        assert radius == pytest.approx(0.37, rel=1e-3)
+
+    def test_binary_search_nothing_certifiable(self):
+        assert binary_search_radius(lambda r: False) == 0.0
+
+    def test_binary_search_requires_positive_initial(self):
+        with pytest.raises(ValueError):
+            binary_search_radius(lambda r: True, initial=0.0)
+
+    def test_binary_search_handles_large_thresholds(self):
+        radius = binary_search_radius(lambda r: r <= 50.0, initial=0.01,
+                                      n_iterations=16)
+        assert radius == pytest.approx(50.0, rel=1e-2)
+
+    def test_max_certified_radius_positive_for_trained_model(
+            self, tiny_model, tiny_sentence):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        radius = max_certified_radius(verifier, tiny_sentence, 1, 2,
+                                      n_iterations=6)
+        assert radius > 0
+        # The found radius certifies; twice the radius' margin is smaller.
+        assert verifier.certify_word_perturbation(
+            tiny_sentence, 1, radius * 0.99, 2).certified
+
+
+class TestMlpVerifier:
+    def test_propagation_sound(self, tiny_mlp, digit_data, rng):
+        features, _ = digit_data
+        x = features[0]
+        region = MultiNormZonotope.from_lp_ball(x, 0.05, 2)
+        logits = propagate_mlp(tiny_mlp, region)
+        lower, upper = logits.bounds()
+        for _ in range(100):
+            delta = sample_lp_ball(rng, len(x), 2, 0.05)
+            from repro.autograd import Tensor, no_grad
+            with no_grad():
+                out = tiny_mlp.forward(Tensor(x + delta)).data
+            assert np.all(out >= lower - 1e-9)
+            assert np.all(out <= upper + 1e-9)
+
+    def test_certify_and_radius(self, tiny_mlp, digit_data):
+        features, _ = digit_data
+        verifier = MlpZonotopeVerifier(tiny_mlp)
+        assert verifier.certify(features[0], 1e-6, 2)
+        radius = verifier.max_certified_radius(features[0], 2,
+                                               n_iterations=6)
+        assert radius > 0

@@ -1,0 +1,194 @@
+"""Tests for the dot-product / multiplication transformers (Sections 4.8-4.9).
+
+Checks soundness of the Fast (Eq. 5) and Precise (Eq. 6) variants, the
+precision ordering between them, both dual-norm application orders, the
+degenerate point cases (where the transformer must be exact), and
+broadcasting in the elementwise product.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zonotope import (MultiNormZonotope, zonotope_matmul,
+                            zonotope_multiply, DotProductConfig)
+
+from tests.conftest import sample_lp_ball
+
+
+def pair(rng, n=3, k=4, m=2, n_phi=3, n_eps=4, p=2.0, scale=0.3):
+    a = MultiNormZonotope(rng.normal(size=(n, k)),
+                          phi=rng.normal(size=(n_phi, n, k)) * scale,
+                          eps=rng.normal(size=(n_eps, n, k)) * scale, p=p)
+    b = MultiNormZonotope(rng.normal(size=(k, m)),
+                          phi=rng.normal(size=(n_phi, k, m)) * scale,
+                          eps=rng.normal(size=(n_eps, k, m)) * scale, p=p)
+    return a, b
+
+
+def check_matmul_sound(a, b, config, rng, n=200, tol=1e-8):
+    out = zonotope_matmul(a, b, config)
+    lower, upper = out.bounds()
+    for _ in range(n):
+        phi = sample_lp_ball(rng, a.n_phi, a.p)
+        eps = rng.uniform(-1, 1, size=a.n_eps)
+        y = a.concretize(phi, eps) @ b.concretize(phi, eps)
+        assert np.all(y >= lower - tol)
+        assert np.all(y <= upper + tol)
+    return out
+
+
+class TestMatmulSoundness:
+    @pytest.mark.parametrize("p", [1.0, 2.0, np.inf])
+    @pytest.mark.parametrize("variant", ["fast", "precise"])
+    def test_sound(self, rng, p, variant):
+        a, b = pair(rng, p=p)
+        check_matmul_sound(a, b, DotProductConfig(variant=variant), rng)
+
+    @pytest.mark.parametrize("order", ["linf_first", "lp_first"])
+    def test_both_orders_sound(self, rng, order):
+        a, b = pair(rng)
+        check_matmul_sound(a, b, DotProductConfig(order=order), rng)
+
+    def test_eps_only_inputs(self, rng):
+        a, b = pair(rng, n_phi=0)
+        for variant in ("fast", "precise"):
+            check_matmul_sound(a, b, DotProductConfig(variant=variant), rng)
+
+    def test_phi_only_inputs(self, rng):
+        a, b = pair(rng, n_eps=0)
+        check_matmul_sound(a, b, DotProductConfig(), rng)
+
+    def test_shape_validation(self, rng):
+        a, b = pair(rng)
+        with pytest.raises(ValueError):
+            zonotope_matmul(a, a, DotProductConfig())
+
+
+class TestMatmulPrecision:
+    def test_precise_tighter_than_fast_eps_only(self, rng):
+        """Eq. 6 exploits eps_i^2 in [0,1]: never wider than Eq. 5."""
+        for _ in range(10):
+            a, b = pair(rng, n_phi=0, n_eps=6)
+            fast = zonotope_matmul(a, b, DotProductConfig(variant="fast"))
+            precise = zonotope_matmul(a, b,
+                                      DotProductConfig(variant="precise"))
+            w_fast = np.subtract(*fast.bounds()[::-1]).sum()
+            w_precise = np.subtract(*precise.bounds()[::-1]).sum()
+            assert w_precise <= w_fast + 1e-9
+
+    def test_point_times_zonotope_exact(self, rng):
+        """A constant left operand makes the product affine (exact)."""
+        b = MultiNormZonotope(rng.normal(size=(4, 2)),
+                              eps=rng.normal(size=(3, 4, 2)) * 0.3)
+        a = MultiNormZonotope.point(rng.normal(size=(3, 4)), n_eps=3)
+        out = zonotope_matmul(a, b, DotProductConfig())
+        assert out.n_eps == 3  # no fresh symbols: quadratic term vanishes
+        eps = rng.uniform(-1, 1, size=3)
+        np.testing.assert_allclose(
+            out.concretize(np.zeros(0), eps),
+            a.center @ b.concretize(np.zeros(0), eps), atol=1e-12)
+
+    def test_affine_part_exact(self, rng):
+        """Center of the output = product of centers + quadratic midpoint."""
+        a, b = pair(rng, n_phi=0, n_eps=0)
+        out = zonotope_matmul(a, b, DotProductConfig())
+        np.testing.assert_allclose(out.center, a.center @ b.center)
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("variant", ["fast", "precise"])
+    def test_sound(self, rng, variant):
+        shape = (3, 4)
+        a = MultiNormZonotope(rng.normal(size=shape),
+                              phi=rng.normal(size=(3,) + shape) * 0.3,
+                              eps=rng.normal(size=(4,) + shape) * 0.3, p=2.0)
+        b = MultiNormZonotope(rng.normal(size=shape),
+                              phi=rng.normal(size=(3,) + shape) * 0.3,
+                              eps=rng.normal(size=(4,) + shape) * 0.3, p=2.0)
+        out = zonotope_multiply(a, b, DotProductConfig(variant=variant))
+        lower, upper = out.bounds()
+        for _ in range(200):
+            phi = sample_lp_ball(rng, 3, 2.0)
+            eps = rng.uniform(-1, 1, size=4)
+            y = a.concretize(phi, eps) * b.concretize(phi, eps)
+            assert np.all(y >= lower - 1e-8)
+            assert np.all(y <= upper + 1e-8)
+
+    def test_broadcasting(self, rng):
+        a = MultiNormZonotope(rng.normal(size=(3, 4)),
+                              eps=rng.normal(size=(2, 3, 4)) * 0.2)
+        b = MultiNormZonotope(rng.normal(size=(3, 1)),
+                              eps=rng.normal(size=(2, 3, 1)) * 0.2)
+        out = zonotope_multiply(a, b, DotProductConfig())
+        assert out.shape == (3, 4)
+        lower, upper = out.bounds()
+        for _ in range(100):
+            eps = rng.uniform(-1, 1, size=2)
+            y = (a.concretize(np.zeros(0), eps)
+                 * b.concretize(np.zeros(0), eps))
+            assert np.all(y >= lower - 1e-8)
+            assert np.all(y <= upper + 1e-8)
+
+    def test_self_square_nonnegative_with_precise(self, rng):
+        """x*x with the precise variant: eps^2 >= 0 tightens the bound."""
+        z = MultiNormZonotope(np.zeros(3), eps=rng.normal(size=(4, 3)))
+        fast = zonotope_multiply(z, z, DotProductConfig(variant="fast"))
+        precise = zonotope_multiply(z, z,
+                                    DotProductConfig(variant="precise"))
+        assert precise.bounds()[0].min() >= fast.bounds()[0].min() - 1e-12
+        # True squares are non-negative; the precise bound reflects the
+        # diagonal-term sign information at least partially.
+        assert precise.bounds()[0].min() > fast.bounds()[0].min() - 1e-9
+
+    def test_multiplication_is_dot_product_with_k1(self, rng):
+        """Section 4.9: elementwise product == 1-element dot product."""
+        a = MultiNormZonotope(rng.normal(size=(1, 1)),
+                              eps=rng.normal(size=(3, 1, 1)) * 0.4)
+        b = MultiNormZonotope(rng.normal(size=(1, 1)),
+                              eps=rng.normal(size=(3, 1, 1)) * 0.4)
+        via_matmul = zonotope_matmul(a, b, DotProductConfig())
+        via_multiply = zonotope_multiply(a, b, DotProductConfig())
+        np.testing.assert_allclose(via_matmul.bounds()[0],
+                                   via_multiply.bounds()[0], atol=1e-9)
+        np.testing.assert_allclose(via_matmul.bounds()[1],
+                                   via_multiply.bounds()[1], atol=1e-9)
+
+
+class TestConfig:
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            DotProductConfig(variant="quantum")
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            DotProductConfig(order="sideways")
+
+    def test_tol_drops_tiny_symbols(self, rng):
+        a, b = pair(rng, scale=1e-12)
+        out = zonotope_matmul(a, b, DotProductConfig(tol=1e-6))
+        assert out.n_eps == a.n_eps  # quadratic magnitudes all below tol
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2 ** 31),
+       p=st.sampled_from([1.0, 2.0, np.inf]),
+       variant=st.sampled_from(["fast", "precise"]),
+       order=st.sampled_from(["linf_first", "lp_first"]))
+def test_property_matmul_soundness(seed, p, variant, order):
+    """Hypothesis: the product transformer is sound for any config."""
+    rng = np.random.default_rng(seed)
+    a = MultiNormZonotope(rng.normal(size=(2, 3)),
+                          phi=rng.normal(size=(2, 2, 3)) * 0.5,
+                          eps=rng.normal(size=(2, 2, 3)) * 0.5, p=p)
+    b = MultiNormZonotope(rng.normal(size=(3, 2)),
+                          phi=rng.normal(size=(2, 3, 2)) * 0.5,
+                          eps=rng.normal(size=(2, 3, 2)) * 0.5, p=p)
+    out = zonotope_matmul(a, b, DotProductConfig(variant=variant,
+                                                 order=order))
+    lower, upper = out.bounds()
+    phi = sample_lp_ball(rng, 2, p)
+    eps = rng.uniform(-1, 1, size=2)
+    y = a.concretize(phi, eps) @ b.concretize(phi, eps)
+    assert np.all(y >= lower - 1e-8)
+    assert np.all(y <= upper + 1e-8)

@@ -1,0 +1,108 @@
+"""Tests for DecorrelateMin_k noise-symbol reduction (Section 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zonotope import (MultiNormZonotope, reduce_noise_symbols,
+                            symbol_scores)
+
+from tests.conftest import sample_lp_ball
+
+
+def make_zonotope(rng, n_eps=10, shape=(4,)):
+    return MultiNormZonotope(
+        rng.normal(size=shape),
+        phi=rng.normal(size=(3,) + shape) * 0.3,
+        eps=rng.normal(size=(n_eps,) + shape) * 0.3, p=2.0)
+
+
+class TestSymbolScores:
+    def test_matches_definition(self, rng):
+        z = make_zonotope(rng)
+        expected = np.abs(z.eps.reshape(z.n_eps, -1)).sum(axis=1)
+        np.testing.assert_allclose(symbol_scores(z), expected)
+
+    def test_empty(self):
+        z = MultiNormZonotope(np.zeros(3))
+        assert symbol_scores(z).shape == (0,)
+
+
+class TestReduce:
+    def test_overapproximates(self, rng):
+        """Reduction must only widen: the result contains the original."""
+        z = make_zonotope(rng)
+        reduced = reduce_noise_symbols(z, 4)
+        lo_z, hi_z = z.bounds()
+        lo_r, hi_r = reduced.bounds()
+        assert np.all(lo_r <= lo_z + 1e-12)
+        assert np.all(hi_r >= hi_z - 1e-12)
+
+    def test_contains_all_samples(self, rng):
+        z = make_zonotope(rng)
+        reduced = reduce_noise_symbols(z, 3)
+        lo, hi = reduced.bounds()
+        for _ in range(200):
+            phi = sample_lp_ball(rng, z.n_phi, z.p)
+            eps = rng.uniform(-1, 1, size=z.n_eps)
+            x = z.concretize(phi, eps)
+            assert np.all(x >= lo - 1e-9) and np.all(x <= hi + 1e-9)
+
+    def test_symbol_count(self, rng):
+        z = make_zonotope(rng, n_eps=10, shape=(4,))
+        reduced = reduce_noise_symbols(z, 4)
+        # 4 kept + at most one fresh box symbol per variable.
+        assert 4 < reduced.n_eps <= 4 + 4
+
+    def test_noop_when_under_cap(self, rng):
+        z = make_zonotope(rng, n_eps=3)
+        assert reduce_noise_symbols(z, 5) is z
+
+    def test_k_zero_boxes_everything(self, rng):
+        z = make_zonotope(rng, n_eps=6, shape=(3,))
+        reduced = reduce_noise_symbols(z, 0)
+        assert reduced.n_eps <= 3
+        # Interval bounds are preserved exactly by full boxing.
+        np.testing.assert_allclose(reduced.bounds()[0], z.bounds()[0])
+        np.testing.assert_allclose(reduced.bounds()[1], z.bounds()[1])
+
+    def test_negative_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            reduce_noise_symbols(make_zonotope(rng), -1)
+
+    def test_keeps_highest_scoring_symbols(self, rng):
+        """The surviving correlated rows are the top-k by |B| mass."""
+        z = make_zonotope(rng, n_eps=8, shape=(5,))
+        scores = symbol_scores(z)
+        top = set(np.argsort(scores)[::-1][:3])
+        reduced = reduce_noise_symbols(z, 3)
+        kept_rows = reduced.eps[:3]
+        original_rows = z.eps[sorted(top)]
+        np.testing.assert_allclose(kept_rows, original_rows)
+
+    def test_phi_symbols_never_reduced(self, rng):
+        z = make_zonotope(rng, n_eps=10)
+        reduced = reduce_noise_symbols(z, 2)
+        np.testing.assert_allclose(reduced.phi, z.phi)
+
+    def test_idempotent_at_cap(self, rng):
+        z = make_zonotope(rng, n_eps=10, shape=(2,))
+        once = reduce_noise_symbols(z, 4)
+        twice = reduce_noise_symbols(once, once.n_eps)
+        assert twice is once
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2 ** 31), k=st.integers(0, 8))
+def test_property_reduction_sound(seed, k):
+    """Hypothesis: for any k, reduction contains the original zonotope."""
+    rng = np.random.default_rng(seed)
+    z = MultiNormZonotope(rng.normal(size=(3,)),
+                          phi=rng.normal(size=(2, 3)),
+                          eps=rng.normal(size=(6, 3)), p=2.0)
+    reduced = reduce_noise_symbols(z, k)
+    phi = sample_lp_ball(rng, 2, 2.0)
+    eps = rng.uniform(-1, 1, size=6)
+    x = z.concretize(phi, eps)
+    lo, hi = reduced.bounds()
+    assert np.all(x >= lo - 1e-9) and np.all(x <= hi + 1e-9)
