@@ -15,17 +15,21 @@ Top-level layout:
   attacks, digit images (offline dataset substitutes, see DESIGN.md);
 * :mod:`repro.baselines`  — CROWN-BaF / CROWN-Backward, IBP, synonym
   enumeration, and the complete branch-and-bound verifier;
+* :mod:`repro.perf`       — engine instrumentation (stage timers, symbol
+  counters) reported by the verifier and harness;
 * :mod:`repro.experiments` — runners regenerating every paper table.
 """
 
-from .zonotope import MultiNormZonotope
+from .perf import PERF, PerfRecorder
+from .zonotope import MultiNormZonotope, dense_engine
 from .verify import DeepTVerifier, VerifierConfig, FAST, PRECISE, COMBINED
 from .nn import TransformerClassifier
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "MultiNormZonotope", "DeepTVerifier", "VerifierConfig",
+    "MultiNormZonotope", "dense_engine", "DeepTVerifier", "VerifierConfig",
     "FAST", "PRECISE", "COMBINED", "TransformerClassifier",
+    "PERF", "PerfRecorder",
     "__version__",
 ]

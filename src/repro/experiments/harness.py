@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,12 +21,14 @@ import numpy as np
 from ..nlp import make_corpus
 from ..nn import (TransformerClassifier, train_transformer,
                   evaluate_transformer)
+from ..perf import PERF
 from ..verify import DeepTVerifier, max_certified_radius
 from ..verify.radius import binary_search_radius
 
 __all__ = ["ExperimentScale", "SCALE", "model_cache_dir", "get_corpus",
-           "get_transformer", "evaluation_sentences", "RadiusReport",
-           "radius_report_deept", "radius_report_crown", "format_radius_row"]
+           "get_transformer", "load_cached_state", "evaluation_sentences",
+           "RadiusReport", "radius_report_deept", "radius_report_crown",
+           "format_radius_row"]
 
 
 @dataclass
@@ -58,6 +62,35 @@ def model_cache_dir():
     path = os.path.join(root, ".model_cache")
     os.makedirs(path, exist_ok=True)
     return path
+
+
+def load_cached_state(model, path):
+    """Load cached weights from ``path`` into ``model`` if possible.
+
+    Returns True on success. A corrupt, truncated or stale cache file
+    (``zipfile.BadZipFile``/``EOFError`` from a bad archive, ``KeyError``
+    from a missing parameter, ``OSError``/``ValueError`` from unreadable
+    data) is deleted so the caller retrains and rewrites it. The archive is
+    fully extracted before any parameter is assigned; a mid-assignment
+    failure is still possible for a stale key set, so callers should
+    rebuild the model before retraining.
+    """
+    if not os.path.exists(path):
+        return False
+    try:
+        with np.load(path) as archive:
+            state = {k: np.array(archive[k]) for k in archive.files}
+        model.load_state_dict(state)
+        return True
+    except (zipfile.BadZipFile, EOFError, KeyError, OSError, ValueError) as e:
+        warnings.warn(f"discarding corrupt model cache {path!r} "
+                      f"({type(e).__name__}: {e}); retraining",
+                      stacklevel=2)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        return False
 
 
 _CORPUS_CACHE = {}
@@ -95,32 +128,34 @@ def get_transformer(preset="sst-small", n_layers=3, scale=None,
                  f"_ct{int(certified_training)}"
                  f"_n{scale.n_train}_e{scale.epochs}{lr_tag}_s{scale.seed}")
     path = os.path.join(model_cache_dir(), cache_key + ".npz")
-    model = TransformerClassifier(
-        len(dataset.vocab), embed_dim=embed_dim, n_heads=scale.n_heads,
-        hidden_dim=hidden_dim, n_layers=n_layers, max_len=scale.max_len,
-        seed=scale.seed, divide_by_std=divide_by_std)
-    if os.path.exists(path):
-        archive = np.load(path)
-        model.load_state_dict({k: archive[k] for k in archive.files})
-    elif certified_training:
-        from ..nlp import build_synonym_attack, tie_synonym_embeddings
-        from ..nn import train_transformer_certified
-        tie_synonym_embeddings(model, dataset.vocab)
 
-        def radius_fn(sequence):
-            attack = build_synonym_attack(model, dataset.vocab, sequence)
-            return attack.radius * 1.3
+    def build_model():
+        return TransformerClassifier(
+            len(dataset.vocab), embed_dim=embed_dim, n_heads=scale.n_heads,
+            hidden_dim=hidden_dim, n_layers=n_layers, max_len=scale.max_len,
+            seed=scale.seed, divide_by_std=divide_by_std)
 
-        train_transformer_certified(
-            model, dataset.train_sequences, dataset.train_labels,
-            radius_fn, epochs=max(scale.epochs, 24), warmup_epochs=3,
-            kappa=0.3, lr=1e-3, seed=scale.seed, verbose=verbose)
-        np.savez(path, **model.state_dict())
-    else:
-        train_transformer(model, dataset.train_sequences,
-                          dataset.train_labels, epochs=scale.epochs,
-                          lr=scale.lr, robust_sigma=robust_sigma,
-                          seed=scale.seed, verbose=verbose)
+    model = build_model()
+    if not load_cached_state(model, path):
+        model = build_model()  # discard any partial load
+        if certified_training:
+            from ..nlp import build_synonym_attack, tie_synonym_embeddings
+            from ..nn import train_transformer_certified
+            tie_synonym_embeddings(model, dataset.vocab)
+
+            def radius_fn(sequence):
+                attack = build_synonym_attack(model, dataset.vocab, sequence)
+                return attack.radius * 1.3
+
+            train_transformer_certified(
+                model, dataset.train_sequences, dataset.train_labels,
+                radius_fn, epochs=max(scale.epochs, 24), warmup_epochs=3,
+                kappa=0.3, lr=1e-3, seed=scale.seed, verbose=verbose)
+        else:
+            train_transformer(model, dataset.train_sequences,
+                              dataset.train_labels, epochs=scale.epochs,
+                              lr=scale.lr, robust_sigma=robust_sigma,
+                              seed=scale.seed, verbose=verbose)
         np.savez(path, **model.state_dict())
     accuracy = evaluate_transformer(model, dataset.test_sequences,
                                     dataset.test_labels)
@@ -148,11 +183,17 @@ def evaluation_sentences(model, dataset, n_sentences, max_tokens=None,
 
 @dataclass
 class RadiusReport:
-    """Min / Avg certified radius and wall time for one verifier setting."""
+    """Min / Avg certified radius and wall time for one verifier setting.
+
+    ``perf`` holds the engine's :meth:`repro.perf.PerfRecorder.snapshot`
+    covering the report's propagations (stage seconds, materialization
+    counters, peak symbol counts); None for verifiers that don't record.
+    """
 
     name: str
     radii: list = field(default_factory=list)
     seconds: float = 0.0
+    perf: dict | None = None
 
     @property
     def min_radius(self):
@@ -180,11 +221,14 @@ def radius_report_deept(model, sentences, p, config, scale=None, name="DeepT",
     verifier = DeepTVerifier(model, config)
     report = RadiusReport(name=name)
     start = time.perf_counter()
-    for sequence in sentences:
-        for position in _positions_for(sequence, scale.n_positions, seed):
-            report.radii.append(max_certified_radius(
-                verifier, sequence, position, p,
-                n_iterations=scale.search_iterations))
+    with PERF.collecting() as recorder:
+        for sequence in sentences:
+            for position in _positions_for(sequence, scale.n_positions,
+                                           seed):
+                report.radii.append(max_certified_radius(
+                    verifier, sequence, position, p,
+                    n_iterations=scale.search_iterations))
+        report.perf = recorder.snapshot()
     report.seconds = time.perf_counter() - start
     return report
 

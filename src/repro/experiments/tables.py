@@ -436,20 +436,22 @@ def run_table11(scale=None, n_images=3):
 
     import os
 
-    from .harness import model_cache_dir
+    from .harness import load_cached_state, model_cache_dir
 
     scale = scale or SCALE
     images, labels = make_digit_dataset(n_per_class=60, size=14, seed=0)
     split = int(0.85 * len(images))
-    model = VisionTransformerClassifier(image_size=14, patch_size=7,
-                                        embed_dim=24, n_heads=2,
-                                        hidden_dim=48, n_layers=1,
-                                        n_classes=10, seed=0)
+
+    def build_model():
+        return VisionTransformerClassifier(image_size=14, patch_size=7,
+                                           embed_dim=24, n_heads=2,
+                                           hidden_dim=48, n_layers=1,
+                                           n_classes=10, seed=0)
+
+    model = build_model()
     cache_path = os.path.join(model_cache_dir(), "vit_table11.npz")
-    if os.path.exists(cache_path):
-        archive = np.load(cache_path)
-        model.load_state_dict({k: archive[k] for k in archive.files})
-    else:
+    if not load_cached_state(model, cache_path):
+        model = build_model()  # discard any partial load
         train_vision_transformer(model, images[:split], labels[:split],
                                  epochs=20, lr=2e-3)
         np.savez(cache_path, **model.state_dict())

@@ -52,10 +52,39 @@ class MultiHeadSelfAttention(Module):
         self.w_o = Linear(n_heads * d, embed_dim, rng=rng, init_std=init_std)
 
     def forward(self, x):
-        """``x``: (N, E); returns (N, E)."""
-        head_outputs = [head(x) for head in self.heads]
-        stacked = concatenate(head_outputs, axis=-1)
-        return self.w_o(stacked)
+        """``x``: (N, E); returns (N, E).
+
+        All heads run batched: the per-head projection weights are stacked
+        into single (E, A*d) matrices and the score/mixing products are one
+        batched matmul each, mirroring the verifier's abstract transformer
+        (``repro.verify.propagation.propagate_attention``). Gradients still
+        flow into the per-head parameters through the concatenation.
+        """
+        n_tokens = x.shape[0]
+        n_heads = self.n_heads
+        d = self.heads[0].d_k
+
+        def stacked_proj(name):
+            weight = concatenate(
+                [getattr(h, name).weight for h in self.heads], axis=1)
+            out = x @ weight
+            biases = [getattr(h, name).bias for h in self.heads]
+            if all(b is not None for b in biases):
+                out = out + concatenate(biases, axis=0)
+            return out
+
+        q = stacked_proj("w_q").reshape(n_tokens, n_heads, d) \
+            .transpose(1, 0, 2)                        # (A, N, d)
+        k = stacked_proj("w_k").reshape(n_tokens, n_heads, d) \
+            .transpose(1, 2, 0)                        # (A, d, N)
+        v = stacked_proj("w_v").reshape(n_tokens, n_heads, d) \
+            .transpose(1, 0, 2)                        # (A, N, d)
+
+        scores = (q @ k) * (1.0 / np.sqrt(d))
+        weights = softmax(scores, axis=-1)             # (A, N, N)
+        mixed = (weights @ v).transpose(1, 0, 2) \
+            .reshape(n_tokens, n_heads * d)            # (N, A*d)
+        return self.w_o(mixed)
 
     def attention_weights(self, x):
         """Concrete softmax attention matrices, one (N, N) array per head."""

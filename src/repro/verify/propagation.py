@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf import PERF
 from ..zonotope import (
-    MultiNormZonotope, DotProductConfig, apply_eps_rewrites,
+    DotProductConfig, apply_eps_rewrites,
     reduce_noise_symbols, relu, tanh, rsqrt, softmax as zonotope_softmax,
     zonotope_matmul, zonotope_multiply,
 )
@@ -69,29 +70,68 @@ def _apply_rewrites_everywhere(rewrites, zonotopes):
     return [apply_eps_rewrites(z, rewrites) for z in zonotopes]
 
 
+def _stacked_projection(x, heads, proj_name):
+    """Apply one projection of every head as a single affine map.
+
+    Concatenating the per-head (E, d) weight matrices into (E, H*d) turns
+    ``H`` separate ``matmul_const`` calls into one, and — more importantly —
+    gives every head's downstream transformer a *shared* symbol space, so
+    the fresh symbols different heads introduce stay distinct instead of
+    aliasing at overlapping indices.
+    """
+    weight = np.concatenate(
+        [getattr(h, proj_name).weight.data for h in heads], axis=1)
+    out = x.matmul_const(weight)
+    biases = [getattr(h, proj_name).bias for h in heads]
+    if all(b is not None for b in biases):
+        out = out + np.concatenate([b.data for b in biases])
+    return out
+
+
 def propagate_attention(z, attention, config, dot_config):
     """Multi-head self-attention (Eq. 1) on an (N, E) zonotope.
+
+    All heads are batched: Q/K/V projections run as one stacked affine map,
+    the score and mixing dot-products as single per-head-batched einsums
+    ((H, n, d) @ (H, d, n) and (H, n, n) @ (H, n, d)), and the softmax on
+    the (H*n, n) row-flattened scores (softmax is row-wise, so flattening
+    the head axis into rows is exact). Besides the speedup, batching fixes
+    a soundness defect of the sequential per-head loop: each head appended
+    its fresh symbols starting at the *input's* symbol count, so distinct
+    heads' fresh symbols shared indices and were aliased as equal when the
+    head outputs were concatenated.
 
     Returns ``(output, x)`` where ``x`` is the (possibly rewritten) input —
     softmax-refinement tightenings must also apply to the residual branch.
     """
-    head_outputs = []
+    heads = attention.heads
+    n_heads = len(heads)
+    n_tokens = z.shape[0]
+    d_k = heads[0].d_k
+    d_v = heads[0].w_v.weight.data.shape[1]
     x = z
-    for head in attention.heads:
-        queries = propagate_linear(x, head.w_q)
-        keys = propagate_linear(x, head.w_k)
-        values = propagate_linear(x, head.w_v)
-        scores = zonotope_matmul(queries, keys.transpose_vars(),
-                                 dot_config).scale(1.0 / np.sqrt(head.d_k))
-        if config.softmax_sum_refinement:
-            weights, rewrites = zonotope_softmax(scores, refine_sum=True)
-            if rewrites and config.propagate_rewrites:
-                x, values, *head_outputs = _apply_rewrites_everywhere(
-                    rewrites, [x, values] + head_outputs)
-        else:
-            weights = zonotope_softmax(scores)
-        head_outputs.append(zonotope_matmul(weights, values, dot_config))
-    stacked = MultiNormZonotope.concat(head_outputs, axis=-1)
+
+    queries = _stacked_projection(x, heads, "w_q")     # (n, H*dk)
+    keys = _stacked_projection(x, heads, "w_k")
+    values = _stacked_projection(x, heads, "w_v")      # (n, H*dv)
+
+    qh = queries.reshape(n_tokens, n_heads, d_k).transpose_vars(1, 0, 2)
+    kh = keys.reshape(n_tokens, n_heads, d_k).transpose_vars(1, 2, 0)
+    vh = values.reshape(n_tokens, n_heads, d_v).transpose_vars(1, 0, 2)
+
+    scores = zonotope_matmul(qh, kh, dot_config).scale(1.0 / np.sqrt(d_k))
+    flat_scores = scores.reshape(n_heads * n_tokens, n_tokens)
+    if config.softmax_sum_refinement:
+        weights, rewrites = zonotope_softmax(flat_scores, refine_sum=True)
+        if rewrites and config.propagate_rewrites:
+            x, vh = _apply_rewrites_everywhere(rewrites, [x, vh])
+    else:
+        weights = zonotope_softmax(flat_scores)
+    weights = weights.reshape(n_heads, n_tokens, n_tokens)
+
+    mixed = zonotope_matmul(weights, vh, dot_config)   # (H, n, dv)
+    stacked = mixed.transpose_vars(1, 0, 2).reshape(n_tokens,
+                                                    n_heads * d_v)
     return propagate_linear(stacked, attention.w_o), x
 
 
@@ -108,10 +148,15 @@ def propagate_feed_forward(z, ffn):
 
 def propagate_transformer_layer(z, layer, config, dot_config):
     """One encoder layer: attention and FFN with residual + norm."""
-    attended, z = propagate_attention(z, layer.attention, config, dot_config)
-    z = propagate_layer_norm(z + attended, layer.norm1, dot_config)
-    z = propagate_layer_norm(z + propagate_feed_forward(z, layer.ffn),
-                             layer.norm2, dot_config)
+    with PERF.stage("attention"):
+        attended, z = propagate_attention(z, layer.attention, config,
+                                          dot_config)
+    with PERF.stage("layer_norm"):
+        z = propagate_layer_norm(z + attended, layer.norm1, dot_config)
+    with PERF.stage("ffn"):
+        ffn_out = propagate_feed_forward(z, layer.ffn)
+    with PERF.stage("layer_norm"):
+        z = propagate_layer_norm(z + ffn_out, layer.norm2, dot_config)
     return z
 
 
@@ -134,11 +179,15 @@ def propagate_classifier(model, input_zonotope, config=None):
     for index, layer in enumerate(model.layers):
         cap = config.cap_for_layer(index, n_layers)
         if cap is not None:
-            z = reduce_noise_symbols(z, cap, tol=config.coeff_tol,
-                                     strategy=config.reduction_strategy)
+            with PERF.stage("reduction"):
+                z = reduce_noise_symbols(z, cap, tol=config.coeff_tol,
+                                         strategy=config.reduction_strategy)
         dot_config = DotProductConfig(
             variant=config.variant_for_layer(index, n_layers),
             order=config.dual_norm_order, tol=config.coeff_tol)
         z = propagate_transformer_layer(z, layer, config, dot_config)
-    pooled = tanh(propagate_linear(z[0], model.pool))
-    return propagate_linear(pooled, model.classifier)
+        PERF.gauge_max("peak_eps_rows", z.n_eps)
+    with PERF.stage("classifier_head"):
+        pooled = tanh(propagate_linear(z[0], model.pool))
+        out = propagate_linear(pooled, model.classifier)
+    return out

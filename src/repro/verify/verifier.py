@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import PERF
 from .config import VerifierConfig
 from .propagation import propagate_classifier
 from .regions import (word_perturbation_region, synonym_attack_region,
@@ -56,15 +57,22 @@ class DeepTVerifier:
     # ------------------------------------------------------------ primitives
     def certify_region(self, region, true_label):
         """Certify that every point of ``region`` classifies as
-        ``true_label``."""
-        logits = propagate_classifier(self.model, region, self.config)
-        lower, upper = logits.bounds()
-        margins = []
-        for other in range(len(lower)):
-            if other == true_label:
-                continue
-            margin = (logits[true_label] - logits[other]).bounds()[0]
-            margins.append(float(margin))
+        ``true_label``.
+
+        Stage timings, peak symbol counts and materialization counters are
+        reported into :data:`repro.perf.PERF` when recording is enabled
+        (``PERF.collecting()``); see ``PERF.snapshot()``.
+        """
+        with PERF.stage("propagation"):
+            logits = propagate_classifier(self.model, region, self.config)
+        with PERF.stage("margin_check"):
+            lower, upper = logits.bounds()
+            margins = []
+            for other in range(len(lower)):
+                if other == true_label:
+                    continue
+                margin = (logits[true_label] - logits[other]).bounds()[0]
+                margins.append(float(margin))
         worst = min(margins)
         certified = bool(np.isfinite(worst) and worst > 0)
         return CertificationResult(certified=certified, margin_lower=worst,

@@ -1,6 +1,8 @@
 """The Multi-norm Zonotope abstract domain (the paper's contribution)."""
 
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
+from .storage import (EpsBuffer, EpsTail, dense_engine, fast_path_enabled,
+                      set_fast_path)
 from . import elementwise
 from .elementwise import relu, tanh, exp, reciprocal, rsqrt, sigmoid, gelu
 from .dotproduct import zonotope_matmul, zonotope_multiply, DotProductConfig
@@ -14,6 +16,8 @@ from .reduction import (reduce_noise_symbols, symbol_scores,
 
 __all__ = [
     "MultiNormZonotope", "dual_exponent", "norm_along_axis0",
+    "EpsBuffer", "EpsTail", "dense_engine", "fast_path_enabled",
+    "set_fast_path",
     "elementwise", "relu", "tanh", "exp", "reciprocal", "rsqrt",
     "sigmoid", "gelu",
     "zonotope_matmul", "zonotope_multiply", "DotProductConfig",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
+from .storage import fast_path_enabled
 
 __all__ = ["zonotope_matmul", "zonotope_multiply", "DotProductConfig"]
 
@@ -70,15 +71,18 @@ def _fast_case_bound(inner_coeffs, inner_q, outer_coeffs, outer_q, pattern):
       — inner must be the y-side array, outer the x-side array.
     * ``"col-row"``: the transposed pairing (inner = x side, outer = y
       side), used when the operand roles are swapped.
+
+    Both einsums carry an ellipsis so the bound batches over any leading
+    (e.g. per-head) variable axes shared by the operands.
     """
     if pattern == "row-col":
-        # inner: (E2, k, m) -> s[k, m]; outer: (E1, n, k)
+        # inner: (E2, ..., k, m) -> s[..., k, m]; outer: (E1, ..., n, k)
         s = norm_along_axis0(inner_coeffs, inner_q)
-        t = np.einsum("km,enk->enm", s, np.abs(outer_coeffs))
+        t = np.einsum("...km,e...nk->e...nm", s, np.abs(outer_coeffs))
     elif pattern == "col-row":
-        # inner: (E1, n, k) -> s[n, k]; outer: (E2, k, m)
+        # inner: (E1, ..., n, k) -> s[..., n, k]; outer: (E2, ..., k, m)
         s = norm_along_axis0(inner_coeffs, inner_q)
-        t = np.einsum("nk,ekm->enm", s, np.abs(outer_coeffs))
+        t = np.einsum("...nk,e...km->e...nm", s, np.abs(outer_coeffs))
     else:
         raise ValueError(pattern)
     return norm_along_axis0(t, outer_q)
@@ -90,6 +94,7 @@ def _precise_eps_bounds(x_eps, y_eps, block=8):
     ``x_eps``: (E, n, k), ``y_eps``: (E, k, m). Returns (l, u) of shape
     (n, m). The full pairwise tensor M[i, j, a, b] = sum_t x[a,i,t] y[b,t,j]
     is materialized in blocks of ``block`` output rows to bound memory.
+    Batched operands (leading variable axes) take the wrapper below.
     """
     n_eps, n, _ = x_eps.shape
     m = y_eps.shape[2]
@@ -110,14 +115,40 @@ def _precise_eps_bounds(x_eps, y_eps, block=8):
     return lower, upper
 
 
+def _precise_eps_bounds_batched(x_eps, y_eps, block=8):
+    """Eq. (6) bounds for operands with leading batch axes.
+
+    ``x_eps``: (E, ..., n, k), ``y_eps``: (E, ..., k, m). The pairwise
+    analysis is quadratic in E, so batch slices are processed one at a time
+    through the 2D routine rather than blowing up one giant einsum.
+    """
+    if x_eps.ndim == 3:
+        return _precise_eps_bounds(x_eps, y_eps, block=block)
+    batch_shape = x_eps.shape[1:-2]
+    n_eps = x_eps.shape[0]
+    n, k = x_eps.shape[-2:]
+    m = y_eps.shape[-1]
+    x_flat = x_eps.reshape((n_eps, -1, n, k))
+    y_flat = y_eps.reshape((n_eps, -1, k, m))
+    n_batch = x_flat.shape[1]
+    lower = np.zeros((n_batch, n, m))
+    upper = np.zeros((n_batch, n, m))
+    for b in range(n_batch):
+        lower[b], upper[b] = _precise_eps_bounds(
+            x_flat[:, b], y_flat[:, b], block=block)
+    return (lower.reshape(batch_shape + (n, m)),
+            upper.reshape(batch_shape + (n, m)))
+
+
 def _quadratic_bounds(x, y, config):
     """Interval bounds of the full quadratic interaction term, per output.
 
-    ``x``: zonotope (n, k), ``y``: zonotope (k, m); returns (l, u) of shape
-    (n, m) bounding (A1 phi + B1 eps)_i . (A2 phi + B2 eps)_j.
+    ``x``: zonotope (..., n, k), ``y``: zonotope (..., k, m); returns
+    (l, u) of shape (..., n, m) bounding
+    (A1 phi + B1 eps)_i . (A2 phi + B2 eps)_j.
     """
     q = x.q
-    bound = np.zeros((x.shape[0], y.shape[1]))
+    bound = np.zeros(x.shape[:-1] + (y.shape[-1],))
 
     # phi-phi: both sides carry the ℓp norm; collapse the y side first.
     if x.n_phi and y.n_phi:
@@ -141,7 +172,7 @@ def _quadratic_bounds(x, y, config):
     # eps-eps: fast cascade or the precise pairwise analysis.
     if x.n_eps and y.n_eps:
         if config.variant == "precise":
-            l_ee, u_ee = _precise_eps_bounds(x.eps, y.eps)
+            l_ee, u_ee = _precise_eps_bounds_batched(x.eps, y.eps)
         else:
             b_ee = _fast_case_bound(y.eps, 1.0, x.eps, 1.0, "row-col")
             l_ee, u_ee = -b_ee, b_ee
@@ -150,28 +181,132 @@ def _quadratic_bounds(x, y, config):
     return lower, upper
 
 
+def _tail_cross_scatter(out, row_offset, tail, shape, other_center, side):
+    """Exact affine cross rows for lazy-tail symbols, in O(T·m) total.
+
+    A tail symbol touches exactly one operand variable, so its cross-term
+    row is a scaled slice of the other operand's center: for ``side="x"``
+    a symbol at (..., i, t) of magnitude b contributes ``b * y.center[...,
+    t, :]`` to output row (..., i, :); for ``side="y"`` a symbol at
+    (..., t, j) contributes ``b * x.center[..., :, t]`` to (..., :, j).
+    Scattering these rows directly skips the dense cross einsum over the
+    (usually huge) tail block.
+    """
+    multi = np.unravel_index(tail.idx, shape)
+    rows = row_offset + np.arange(len(tail))
+    if side == "x":
+        *batch, i_idx, t_idx = multi
+        vals = tail.mag[:, None] * other_center[(*batch, t_idx)]
+        out[(rows, *batch, i_idx)] += vals
+    else:
+        *batch, t_idx, j_idx = multi
+        center_t = np.swapaxes(other_center, -1, -2)
+        vals = tail.mag[:, None] * center_t[(*batch, t_idx)]
+        out[(rows, *batch, slice(None), j_idx)] += vals
+
+
+def _matmul_fast_path(x, y, config):
+    """Structure-aware DeepT-Fast matmul: no padding, no materialization.
+
+    Numerically equivalent to the aligned dense route (same Eq. (5)
+    cascades, reassociated), but exploits the engine's lazy representation:
+
+    * operands are never zero-padded to a common symbol count — each
+      operand's cross einsum runs over its own rows only, and the output
+      block is allocated at ``max`` size directly;
+    * lazy tails contribute exact cross rows by scatter instead of a dense
+      einsum over one-nonzero rows;
+    * every eps-side Eq. (5) cascade starts (or ends) with the dual ℓ1
+      norm, which is just the per-variable ℓ1 mass — so the eps blocks
+      collapse through :meth:`MultiNormZonotope.eps_l1` in O(E·N) and the
+      remaining contraction is symbol-free: the eps-eps case becomes a
+      single ``l1(x) @ l1(y)`` product instead of an O(E·n·k·m) einsum.
+    """
+    if x.n_phi != y.n_phi or x.p != y.p:
+        raise ValueError("zonotopes come from different symbol spaces")
+    out_shape = x.shape[:-1] + (y.shape[-1],)
+    center = np.matmul(x.center, y.center)
+
+    if x.n_phi:
+        phi = (np.einsum("e...nk,...km->e...nm", x.phi, y.center)
+               + np.einsum("...nk,e...km->e...nm", x.center, y.phi))
+    else:
+        phi = np.zeros((0,) + out_shape)
+
+    eps = np.zeros((max(x.n_eps, y.n_eps),) + out_shape)
+    cx, cy = x._eps_count, y._eps_count
+    if cx:
+        eps[:cx] += np.einsum("e...nk,...km->e...nm", x._dense_rows(),
+                              y.center)
+    if x._eps_tail is not None and len(x._eps_tail):
+        _tail_cross_scatter(eps, cx, x._eps_tail, x.shape, y.center, "x")
+    if cy:
+        eps[:cy] += np.einsum("...nk,e...km->e...nm", x.center,
+                              y._dense_rows())
+    if y._eps_tail is not None and len(y._eps_tail):
+        _tail_cross_scatter(eps, cy, y._eps_tail, y.shape, x.center, "y")
+
+    q = x.q
+    bound = np.zeros(out_shape)
+    x_l1 = x.eps_l1() if x.n_eps else None
+    y_l1 = y.eps_l1() if y.n_eps else None
+    if x.n_phi and y.n_phi:
+        bound += _fast_case_bound(y.phi, q, x.phi, q, "row-col")
+    if x.n_phi and y.n_eps:
+        if config.order == "linf_first":
+            t = np.einsum("...km,e...nk->e...nm", y_l1, np.abs(x.phi))
+            bound += norm_along_axis0(t, q)
+        else:
+            s = norm_along_axis0(x.phi, q)
+            bound += np.einsum("...nk,...km->...nm", s, y_l1)
+    if x.n_eps and y.n_phi:
+        if config.order == "linf_first":
+            t = np.einsum("...nk,e...km->e...nm", x_l1, np.abs(y.phi))
+            bound += norm_along_axis0(t, q)
+        else:
+            s = norm_along_axis0(y.phi, q)
+            bound += np.einsum("...km,...nk->...nm", s, x_l1)
+    if x.n_eps and y.n_eps:
+        bound += np.einsum("...nk,...km->...nm", x_l1, y_l1)
+
+    out = MultiNormZonotope(center, phi, eps, x.p)
+    return out.append_fresh_eps(bound, tol=config.tol)
+
+
 def zonotope_matmul(x, y, config=None):
     """Abstract matrix product of two zonotopes: (n, k) @ (k, m) -> (n, m).
 
-    Both operands live in the same symbol space (they are aligned first).
-    The affine part is exact; the quadratic interaction is folded into a
-    center shift plus a fresh eps symbol per output variable.
+    Leading variable axes batch: (..., n, k) @ (..., k, m) -> (..., n, m)
+    with identical batch shapes — this is how multi-head attention runs all
+    heads' score and mixing products as single einsums.
+
+    Both operands live in the same symbol space. On the structured engine
+    the fast variant takes :func:`_matmul_fast_path` (padding-free, tails
+    never densified); otherwise the operands are aligned first and the
+    bounds run over dense blocks. The affine part is exact; the quadratic
+    interaction is folded into a center shift plus a fresh eps symbol per
+    output variable.
     """
     config = config or DotProductConfig()
-    if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[0]:
+    if (x.ndim < 2 or y.ndim != x.ndim or x.shape[-1] != y.shape[-2]
+            or x.shape[:-2] != y.shape[:-2]):
         raise ValueError(f"incompatible shapes {x.shape} @ {y.shape}")
+    if fast_path_enabled() and config.variant == "fast":
+        return _matmul_fast_path(x, y, config)
     x, y = x.aligned_with(y)
 
-    center = x.center @ y.center
-    n_out_shape = (x.shape[0], y.shape[1])
+    center = np.matmul(x.center, y.center)
+    n_out_shape = x.shape[:-1] + (y.shape[-1],)
 
     def cross(coeff_x, coeff_y):
         """c2-weighted x-coeffs plus c1-weighted y-coeffs (exact part)."""
         parts = []
         if coeff_x.shape[0]:
-            parts.append(np.einsum("enk,km->enm", coeff_x, y.center))
+            parts.append(np.einsum("e...nk,...km->e...nm", coeff_x,
+                                   y.center))
         if coeff_y.shape[0]:
-            parts.append(np.einsum("nk,ekm->enm", x.center, coeff_y))
+            parts.append(np.einsum("...nk,e...km->e...nm", x.center,
+                                   coeff_y))
         if not parts:
             return np.zeros((0,) + n_out_shape)
         return parts[0] + parts[1] if len(parts) == 2 else parts[0]

@@ -28,8 +28,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .multinorm import MultiNormZonotope
-
 __all__ = ["relu", "tanh", "exp", "reciprocal", "rsqrt", "sigmoid",
            "gelu", "affine_response"]
 
@@ -41,10 +39,12 @@ _EPS_SHIFT = 0.01
 
 
 def affine_response(x, lam, mu, beta_new, tol=0.0):
-    """Assemble ``y = lam*x + mu + beta_new*eps_new`` for arrays of params."""
-    out = MultiNormZonotope(lam * x.center + mu, lam * x.phi, lam * x.eps,
-                            x.p)
-    return out.append_fresh_eps(beta_new, tol=tol)
+    """Assemble ``y = lam*x + mu + beta_new*eps_new`` for arrays of params.
+
+    Runs through :meth:`MultiNormZonotope.affine_image`, which rescales a
+    lazy eps tail in O(symbols) instead of densifying it.
+    """
+    return x.affine_image(lam, mu).append_fresh_eps(beta_new, tol=tol)
 
 
 def relu(x):

@@ -13,7 +13,17 @@ Storage layout: for a variable tensor of shape ``S``,
 
 * ``center`` has shape ``S``,
 * ``phi`` has shape ``(Ep,) + S``  (symbol axis first),
-* ``eps`` has shape ``(Einf,) + S``.
+* the eps block logically has shape ``(Einf,) + S`` but is held in
+  structured form: a capacity-doubling dense row buffer
+  (:class:`~repro.zonotope.storage.EpsBuffer`) followed by an optional lazy
+  *tail* of one-nonzero-per-variable symbols
+  (:class:`~repro.zonotope.storage.EpsTail`) — the shape every fresh symbol
+  from :meth:`append_fresh_eps` has.  Elementwise transformers, variable
+  sums/reshapes/transposes and interval bounds operate on the tail in
+  O(symbols) without densifying; mixing operations (matrix products,
+  concatenation, slicing, symbol reduction) materialize it first.  The
+  ``eps`` property always yields the dense block, so external code sees the
+  classical layout.
 
 Concrete interval bounds follow Theorem 1 via the dual norm (Lemma 1):
 ``l = c - ||A_k||_q - ||B_k||_1`` and ``u = c + ||A_k||_q + ||B_k||_1``
@@ -23,6 +33,9 @@ with ``1/p + 1/q = 1``.
 from __future__ import annotations
 
 import numpy as np
+
+from ..perf import PERF
+from .storage import EpsBuffer, EpsTail, fast_path_enabled
 
 __all__ = ["MultiNormZonotope", "dual_exponent", "norm_along_axis0"]
 
@@ -63,7 +76,7 @@ class MultiNormZonotope:
     (coefficient arrays may be shared when unchanged).
     """
 
-    __slots__ = ("center", "phi", "eps", "p")
+    __slots__ = ("center", "phi", "p", "_eps_buf", "_eps_count", "_eps_tail")
 
     def __init__(self, center, phi=None, eps=None, p=np.inf):
         self.center = np.asarray(center, dtype=np.float64)
@@ -73,14 +86,80 @@ class MultiNormZonotope:
         if eps is None:
             eps = np.zeros((0,) + shape)
         self.phi = np.asarray(phi, dtype=np.float64)
-        self.eps = np.asarray(eps, dtype=np.float64)
+        eps = np.asarray(eps, dtype=np.float64)
         self.p = float(p)
         if self.p not in _SUPPORTED_P and self.p <= 1.0:
             raise ValueError(f"unsupported p-norm {p}")
-        if self.phi.shape[1:] != shape or self.eps.shape[1:] != shape:
+        if self.phi.shape[1:] != shape or eps.shape[1:] != shape:
             raise ValueError(
-                f"coefficient shapes {self.phi.shape} / {self.eps.shape} do "
+                f"coefficient shapes {self.phi.shape} / {eps.shape} do "
                 f"not match variable shape {shape}")
+        self._eps_buf = EpsBuffer.from_rows(eps)
+        self._eps_count = eps.shape[0]
+        self._eps_tail = None
+
+    @classmethod
+    def _build(cls, center, phi, buf, count, tail, p):
+        """Unvalidated construction from internal storage (hot path)."""
+        obj = object.__new__(cls)
+        obj.center = center
+        obj.phi = phi
+        obj.p = p
+        obj._eps_buf = buf
+        obj._eps_count = count
+        obj._eps_tail = tail
+        return obj
+
+    # ----------------------------------------------------------- eps storage
+    def _dense_rows(self):
+        """The dense (non-tail) eps rows, as a read-only view."""
+        return self._eps_buf.rows(self._eps_count)
+
+    def _ensure_dense(self):
+        """Fold the lazy tail into dense rows (mixing ops need them).
+
+        Mutates only the internal representation; the abstract value is
+        unchanged, so sharing is preserved.
+        """
+        tail = self._eps_tail
+        if tail is None:
+            return
+        PERF.count("eps_materializations")
+        PERF.count("eps_rows_materialized", len(tail))
+        total = self._eps_count + len(tail)
+        dense = np.zeros((total,) + self.shape)
+        dense[:self._eps_count] = self._dense_rows()
+        flat = dense.reshape(total, -1)
+        flat[self._eps_count + np.arange(len(tail)), tail.idx] = tail.mag
+        self._eps_buf = EpsBuffer.from_rows(dense)
+        self._eps_count = total
+        self._eps_tail = None
+
+    @property
+    def eps(self):
+        """Dense ``(Einf,) + S`` eps block (materializes any lazy tail)."""
+        self._ensure_dense()
+        return self._dense_rows()
+
+    def _eps_l1(self):
+        """Per-variable ℓ1 mass of the eps block, tail-aware."""
+        if self._eps_count:
+            total = np.abs(self._dense_rows()).sum(axis=0)
+        else:
+            total = np.zeros(self.shape)
+        if self._eps_tail is not None:
+            total = total + self._eps_tail.l1_per_variable(
+                self.center.size).reshape(self.shape)
+        return total
+
+    def eps_l1(self):
+        """Per-variable ℓ1 mass of the eps block without densifying it.
+
+        Equals ``norm_along_axis0(self.eps, 1.0)`` but runs in O(symbols)
+        on a lazy tail — the dot-product transformer's dual-norm cascades
+        collapse eps blocks with exactly this norm.
+        """
+        return self._eps_l1()
 
     # -------------------------------------------------------------- metadata
     @property
@@ -99,7 +178,8 @@ class MultiNormZonotope:
     @property
     def n_eps(self):
         """Number of ℓ∞ noise symbols (E_∞)."""
-        return self.eps.shape[0]
+        tail = self._eps_tail
+        return self._eps_count + (len(tail) if tail is not None else 0)
 
     @property
     def q(self):
@@ -162,8 +242,7 @@ class MultiNormZonotope:
         exponentials of enormous regions) would yield NaN via inf - inf;
         those entries degrade to the vacuous-but-sound bounds -inf/+inf.
         """
-        spread = (norm_along_axis0(self.phi, self.q)
-                  + norm_along_axis0(self.eps, 1.0))
+        spread = norm_along_axis0(self.phi, self.q) + self._eps_l1()
         with np.errstate(invalid="ignore"):
             lower = self.center - spread
             upper = self.center + spread
@@ -174,8 +253,7 @@ class MultiNormZonotope:
 
     def radius(self):
         """Half-width of the concrete interval bounds."""
-        return (norm_along_axis0(self.phi, self.q)
-                + norm_along_axis0(self.eps, 1.0))
+        return norm_along_axis0(self.phi, self.q) + self._eps_l1()
 
     def concretize(self, phi_values, eps_values):
         """Evaluate the affine forms at concrete noise instantiations.
@@ -201,19 +279,24 @@ class MultiNormZonotope:
         return out
 
     def sample(self, rng, n=1):
-        """Draw ``n`` concrete points from the zonotope (for sound tests)."""
-        points = []
-        for _ in range(n):
-            if self.n_phi:
-                raw = rng.normal(size=self.n_phi)
-                norm = np.linalg.norm(raw, ord=self.p)
-                scale = rng.uniform(0, 1) / max(norm, 1e-12)
-                phi_values = raw * scale
-            else:
-                phi_values = np.zeros(0)
-            eps_values = rng.uniform(-1, 1, size=self.n_eps)
-            points.append(self.concretize(phi_values, eps_values))
-        return np.stack(points) if points else np.zeros((0,) + self.shape)
+        """Draw ``n`` concrete points from the zonotope (for sound tests).
+
+        Vectorized over ``n``: all noise instantiations are drawn and
+        contracted against the coefficient blocks in one shot.
+        """
+        if n <= 0:
+            return np.zeros((0,) + self.shape)
+        points = np.broadcast_to(self.center, (n,) + self.shape).copy()
+        if self.n_phi:
+            raw = rng.normal(size=(n, self.n_phi))
+            norms = np.linalg.norm(raw, ord=self.p, axis=1)
+            scales = rng.uniform(0.0, 1.0, size=n) / np.maximum(norms, 1e-12)
+            points += np.tensordot(raw * scales[:, None], self.phi,
+                                   axes=(1, 0))
+        if self.n_eps:
+            eps_values = rng.uniform(-1.0, 1.0, size=(n, self.n_eps))
+            points += np.tensordot(eps_values, self.eps, axes=(1, 0))
+        return points
 
     # ------------------------------------------------------ symbol alignment
     def pad_eps(self, n_total):
@@ -222,7 +305,18 @@ class MultiNormZonotope:
             raise ValueError("cannot pad to fewer symbols")
         if n_total == self.n_eps:
             return self
-        pad = np.zeros((n_total - self.n_eps,) + self.shape)
+        extra = n_total - self.n_eps
+        if self._eps_tail is not None:
+            tail = EpsTail.concatenated(self._eps_tail, EpsTail.zeros(extra))
+            return MultiNormZonotope._build(self.center, self.phi,
+                                            self._eps_buf, self._eps_count,
+                                            tail, self.p)
+        if fast_path_enabled():
+            buf, count = self._eps_buf.pad(self._eps_count, n_total,
+                                           self.shape)
+            return MultiNormZonotope._build(self.center, self.phi, buf,
+                                            count, None, self.p)
+        pad = np.zeros((extra,) + self.shape)
         return MultiNormZonotope(self.center, self.phi,
                                  np.concatenate([self.eps, pad], axis=0),
                                  self.p)
@@ -245,21 +339,47 @@ class MultiNormZonotope:
         ``magnitudes`` has the variable shape; variables with magnitude
         ``<= tol`` get no symbol (their rows would be all-zero). This is how
         every non-linear transformer introduces its ``beta_new eps_new``
-        term.
+        term.  On the fast path the fresh block is kept as a lazy
+        one-nonzero-per-variable tail instead of densified rows.
         """
-        magnitudes = np.asarray(magnitudes, dtype=np.float64)
-        flat = magnitudes.reshape(-1)
-        idx = np.flatnonzero(np.abs(flat) > tol)
-        if len(idx) == 0:
+        fresh = EpsTail.from_magnitudes(magnitudes, tol=tol)
+        if len(fresh) == 0:
             return self
-        block = np.zeros((len(idx), flat.size))
-        block[np.arange(len(idx)), idx] = flat[idx]
-        block = block.reshape((len(idx),) + self.shape)
+        if PERF.enabled:
+            PERF.gauge_max("peak_eps_rows", self.n_eps + len(fresh))
+        if fast_path_enabled():
+            tail = EpsTail.concatenated(self._eps_tail, fresh)
+            return MultiNormZonotope._build(self.center, self.phi,
+                                            self._eps_buf, self._eps_count,
+                                            tail, self.p)
+        block = fresh.materialize(self.shape)
         return MultiNormZonotope(self.center, self.phi,
                                  np.concatenate([self.eps, block], axis=0),
                                  self.p)
 
     # -------------------------------------------------- affine (Theorem 2)
+    def affine_image(self, lam, mu=None):
+        """Exact per-variable affine map ``lam * x + mu`` (tail-aware).
+
+        This is the linear skeleton of every elementwise transformer:
+        ``lam``/``mu`` broadcast over the variable shape, the dense
+        coefficients are rescaled rows-at-once and a lazy tail is rescaled
+        in O(symbols) via its per-variable magnitudes.
+        """
+        lam = np.asarray(lam, dtype=np.float64)
+        center = lam * self.center
+        if mu is not None:
+            center = center + mu
+        phi = lam * self.phi
+        dense = lam * self._dense_rows()
+        tail = self._eps_tail
+        if tail is not None:
+            lam_flat = np.broadcast_to(lam, self.shape).reshape(-1)
+            tail = tail.scale_flat(lam_flat)
+        return MultiNormZonotope._build(center, phi,
+                                        EpsBuffer.from_rows(dense),
+                                        dense.shape[0], tail, self.p)
+
     def _binary_affine(self, other, f):
         a, b = self.aligned_with(other)
         return MultiNormZonotope(f(a.center, b.center), f(a.phi, b.phi),
@@ -269,8 +389,14 @@ class MultiNormZonotope:
         if isinstance(other, MultiNormZonotope):
             return self._binary_affine(other, np.add)
         other = np.asarray(other, dtype=np.float64)
-        return MultiNormZonotope(self.center + other, self.phi, self.eps,
-                                 self.p)
+        center = self.center + other
+        if center.shape != self.shape:
+            raise ValueError(
+                f"constant of shape {other.shape} broadcasts the variable "
+                f"shape {self.shape}")
+        return MultiNormZonotope._build(center, self.phi, self._eps_buf,
+                                        self._eps_count, self._eps_tail,
+                                        self.p)
 
     __radd__ = __add__
 
@@ -278,20 +404,34 @@ class MultiNormZonotope:
         if isinstance(other, MultiNormZonotope):
             return self._binary_affine(other, np.subtract)
         other = np.asarray(other, dtype=np.float64)
-        return MultiNormZonotope(self.center - other, self.phi, self.eps,
-                                 self.p)
+        center = self.center - other
+        if center.shape != self.shape:
+            raise ValueError(
+                f"constant of shape {other.shape} broadcasts the variable "
+                f"shape {self.shape}")
+        return MultiNormZonotope._build(center, self.phi, self._eps_buf,
+                                        self._eps_count, self._eps_tail,
+                                        self.p)
 
     def __rsub__(self, other):
         return (-self) + other
 
     def __neg__(self):
-        return MultiNormZonotope(-self.center, -self.phi, -self.eps, self.p)
+        tail = self._eps_tail
+        return MultiNormZonotope._build(
+            -self.center, -self.phi,
+            EpsBuffer.from_rows(-self._dense_rows()), self._eps_count,
+            tail.negated() if tail is not None else None, self.p)
 
     def scale(self, factor):
         """Elementwise scaling by a constant scalar or array (exact)."""
         factor = np.asarray(factor, dtype=np.float64)
-        return MultiNormZonotope(self.center * factor, self.phi * factor,
-                                 self.eps * factor, self.p)
+        if np.broadcast_shapes(self.shape, factor.shape) != self.shape:
+            # Up-broadcasting factors are rejected with the legacy error.
+            return MultiNormZonotope(self.center * factor,
+                                     self.phi * factor,
+                                     self.eps * factor, self.p)
+        return self.affine_image(factor)
 
     __mul__ = scale          # constants only; variable products live in
     __rmul__ = scale         # repro.zonotope.dotproduct
@@ -300,11 +440,27 @@ class MultiNormZonotope:
         """Right-multiply the variables by a constant matrix: ``x @ W``.
 
         Variable tensors with last axis ``k`` and ``W`` of shape (k, m).
-        Exact (affine transformer, Theorem 2).
+        Exact (affine transformer, Theorem 2). A lazy tail mixes along the
+        last axis here, but each tail row maps to a scaled row of ``W``
+        scattered at its variable position — so the tail is consumed in
+        O(T·m) instead of being densified and pushed through the matmul.
         """
         weight = np.asarray(weight, dtype=np.float64)
-        return MultiNormZonotope(self.center @ weight, self.phi @ weight,
-                                 self.eps @ weight, self.p)
+        center = self.center @ weight
+        tail = self._eps_tail
+        if fast_path_enabled() and tail is not None and len(tail):
+            count = self._eps_count
+            eps = np.zeros((self.n_eps,) + center.shape)
+            if count:
+                eps[:count] = self._dense_rows() @ weight
+            *lead, t_idx = np.unravel_index(tail.idx, self.shape)
+            rows = count + np.arange(len(tail))
+            eps[(rows, *lead)] += tail.mag[:, None] * weight[t_idx]
+        else:
+            eps = self.eps @ weight
+        return MultiNormZonotope._build(
+            center, self.phi @ weight,
+            EpsBuffer.from_rows(eps), eps.shape[0], None, self.p)
 
     def const_matmul(self, weight):
         """Left-multiply by a constant matrix: ``W @ x`` (exact)."""
@@ -327,10 +483,15 @@ class MultiNormZonotope:
     def reshape(self, *shape):
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return MultiNormZonotope(
-            self.center.reshape(shape),
-            self.phi.reshape((self.n_phi,) + tuple(shape)),
-            self.eps.reshape((self.n_eps,) + tuple(shape)), self.p)
+        center = self.center.reshape(shape)
+        new_shape = center.shape
+        # C-order reshapes preserve flat variable indices, so a lazy tail
+        # carries over untouched.
+        return MultiNormZonotope._build(
+            center, self.phi.reshape((self.n_phi,) + new_shape),
+            EpsBuffer.from_rows(
+                self._dense_rows().reshape((self._eps_count,) + new_shape)),
+            self._eps_count, self._eps_tail, self.p)
 
     def transpose_vars(self, *axes):
         """Transpose the variable axes (symbol axis stays first)."""
@@ -339,17 +500,32 @@ class MultiNormZonotope:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         sym_axes = (0,) + tuple(a + 1 for a in axes)
-        return MultiNormZonotope(self.center.transpose(axes),
-                                 self.phi.transpose(sym_axes),
-                                 self.eps.transpose(sym_axes), self.p)
+        center = self.center.transpose(axes)
+        tail = self._eps_tail
+        if tail is not None:
+            tail = tail.transposed(self.shape, axes, center.shape)
+        return MultiNormZonotope._build(
+            center, self.phi.transpose(sym_axes),
+            EpsBuffer.from_rows(self._dense_rows().transpose(sym_axes)),
+            self._eps_count, tail, self.p)
 
     def sum_vars(self, axis, keepdims=False):
-        """Sum variables along an axis (exact affine transformer)."""
+        """Sum variables along an axis (exact affine transformer).
+
+        A lazy tail survives the sum: each tail symbol touches a single
+        variable, so its coefficient simply moves to the collapsed index.
+        """
         axis = axis % self.ndim
-        return MultiNormZonotope(
-            self.center.sum(axis=axis, keepdims=keepdims),
+        center = self.center.sum(axis=axis, keepdims=keepdims)
+        tail = self._eps_tail
+        if tail is not None:
+            tail = tail.summed(self.shape, axis, keepdims, center.shape)
+        return MultiNormZonotope._build(
+            center,
             self.phi.sum(axis=axis + 1, keepdims=keepdims),
-            self.eps.sum(axis=axis + 1, keepdims=keepdims), self.p)
+            EpsBuffer.from_rows(
+                self._dense_rows().sum(axis=axis + 1, keepdims=keepdims)),
+            self._eps_count, tail, self.p)
 
     def mean_vars(self, axis, keepdims=False):
         """Mean of variables along an axis (exact)."""
@@ -377,10 +553,11 @@ class MultiNormZonotope:
     def expand_dims(self, axis):
         """Insert a size-one variable axis."""
         axis = axis % (self.ndim + 1)
-        return MultiNormZonotope(
-            np.expand_dims(self.center, axis),
-            np.expand_dims(self.phi, axis + 1),
-            np.expand_dims(self.eps, axis + 1), self.p)
+        center = np.expand_dims(self.center, axis)
+        return MultiNormZonotope._build(
+            center, np.expand_dims(self.phi, axis + 1),
+            EpsBuffer.from_rows(np.expand_dims(self._dense_rows(), axis + 1)),
+            self._eps_count, self._eps_tail, self.p)
 
     def contains_point(self, point, tol=1e-7):
         """Cheap necessary check: ``point`` within the interval bounds."""

@@ -88,21 +88,28 @@ def minimize_coefficient_mass(base_coeffs, direction_coeffs, n_phi):
     ``n_phi`` entries are phi coefficients, whose breakpoints are excluded
     from the candidate set. ``s = 0`` is always admitted. Returns the chosen
     ``s``.
+    """
+    r = np.asarray(base_coeffs, dtype=np.float64)
+    s = np.asarray(direction_coeffs, dtype=np.float64)
+    return _minimize_scalar(r, s, np.arange(len(r)) < n_phi)
+
+
+def _minimize_scalar(r, s, is_phi):
+    """Scalar slope-walk for one variable (``is_phi`` flags per entry).
 
     The objective is convex piecewise-linear with breakpoints at
     ``-r_t / s_t``; the global minimizer is found by the O(T log T)
     slope-walk, and if it is phi-derived the best allowed candidate among
     {adjacent allowed breakpoints, 0} is taken (by convexity the restricted
-    optimum over breakpoints is adjacent to the global one).
+    optimum over breakpoints is adjacent to the global one). Entries with
+    ``s_t = 0`` only shift the objective by a constant and are dropped.
     """
-    r = np.asarray(base_coeffs, dtype=np.float64)
-    s = np.asarray(direction_coeffs, dtype=np.float64)
     active = np.abs(s) > 0
     if not np.any(active):
         return 0.0
     breaks = -r[active] / s[active]
     weights = np.abs(s[active])
-    is_phi = (np.arange(len(r)) < n_phi)[active]
+    is_phi = is_phi[active]
 
     order = np.argsort(breaks)
     breaks = breaks[order]
@@ -130,23 +137,22 @@ def minimize_coefficient_mass(base_coeffs, direction_coeffs, n_phi):
     return candidate if objective(candidate) < objective(0.0) else 0.0
 
 
-def _minimize_mass_rows(coeffs, d_coeffs, n_phi):
+def _minimize_mass_rows(r, s, is_phi):
     """Vectorized step 1 over the ``m`` variables of one softmax row.
 
-    ``coeffs``: (T, m) stacked [phi | eps] coefficients of the row
-    variables; ``d_coeffs``: (T,) coefficients of D. Returns the chosen
-    ``s`` per variable. The fast path finds the global weighted-median
-    breakpoint per column; columns whose optimum is phi-derived fall back
-    to the scalar routine.
+    ``r``: (Ta, m) [phi | eps] coefficients of the row variables, already
+    gathered down to the symbols with a nonzero D coefficient; ``s``:
+    (Ta,) the matching nonzero D coefficients; ``is_phi``: (Ta,) bool.
+    Returns the chosen ``s`` per variable. The fast path finds the global
+    weighted-median breakpoint per column; columns whose optimum is
+    phi-derived fall back to the scalar routine. (Symbols with a zero D
+    coefficient only add a constant to every mass comparison, so dropping
+    them before the call changes nothing.)
     """
-    n_vars = coeffs.shape[1]
+    n_vars = r.shape[1]
     result = np.zeros(n_vars)
-    active = np.abs(d_coeffs) > 0
-    if not np.any(active):
+    if not len(s):
         return result
-    r = coeffs[active]                       # (Ta, m)
-    s = d_coeffs[active]                     # (Ta,)
-    is_phi = (np.arange(len(d_coeffs)) < n_phi)[active]
     breaks = -r / s[:, None]                 # (Ta, m)
     weights = np.abs(s)
 
@@ -168,8 +174,7 @@ def _minimize_mass_rows(coeffs, d_coeffs, n_phi):
 
     result[:] = chosen
     for col in np.flatnonzero(phi_hit):
-        result[col] = minimize_coefficient_mass(coeffs[:, col], d_coeffs,
-                                                n_phi)
+        result[col] = _minimize_scalar(r[:, col], s, is_phi)
     return result
 
 
@@ -182,18 +187,17 @@ def _tightenings_from_constraint(d_center, d_phi_mass, d_eps):
     dict ``index -> (a, b)`` intersected with [-1, 1].
     """
     abs_coeffs = np.abs(d_eps)
-    total = d_phi_mass + abs_coeffs.sum()
-    ranges = {}
-    for m in np.flatnonzero(abs_coeffs > _PIVOT_TOL):
-        rest = total - abs_coeffs[m]
-        lo = (-d_center - rest) / d_eps[m]
-        hi = (-d_center + rest) / d_eps[m]
-        if lo > hi:
-            lo, hi = hi, lo
-        lo, hi = max(lo, -1.0), min(hi, 1.0)
-        if hi - lo < 2.0 - _SHRINK_TOL:
-            ranges[int(m)] = (lo, hi)
-    return ranges
+    significant = np.flatnonzero(abs_coeffs > _PIVOT_TOL)
+    if not len(significant):
+        return {}
+    rest = d_phi_mass + abs_coeffs.sum() - abs_coeffs[significant]
+    a = (-d_center - rest) / d_eps[significant]
+    b = (-d_center + rest) / d_eps[significant]
+    lo = np.maximum(np.minimum(a, b), -1.0)
+    hi = np.minimum(np.maximum(a, b), 1.0)
+    keep = hi - lo < 2.0 - _SHRINK_TOL
+    return {int(m): (float(l), float(h))
+            for m, l, h in zip(significant[keep], lo[keep], hi[keep])}
 
 
 def refine_softmax_rows(z):
@@ -210,28 +214,41 @@ def refine_softmax_rows(z):
     n_phi = z.n_phi
     from .multinorm import norm_along_axis0
 
+    # Affine form of every row's D at once; each row then gathers only the
+    # symbols that actually touch it (the per-row sparsity is what makes
+    # softmax refinement cheap even with thousands of live symbols).
+    d_center_all = 1.0 - center.sum(axis=1)
+    d_phi_all = -phi.sum(axis=2)              # (P, n)
+    d_eps_all = -eps.sum(axis=2)              # (T, n)
+    d_phi_mass_all = (norm_along_axis0(d_phi_all, z.q)
+                      if n_phi else np.zeros(z.shape[0]))
+
     combined = {}
     for i in range(z.shape[0]):
-        d_center = 1.0 - center[i].sum()
-        d_phi = -phi[:, i].sum(axis=1)
-        d_eps = -eps[:, i].sum(axis=1)
+        d_center = d_center_all[i]
+        d_phi = d_phi_all[:, i]
+        d_eps = d_eps_all[:, i]
         if np.abs(d_eps).max(initial=0.0) <= _PIVOT_TOL:
             continue
 
-        # Step 1: per-variable mass-minimizing combination with D.
-        coeffs = np.concatenate([phi[:, i], eps[:, i]], axis=0)
-        d_coeffs = np.concatenate([d_phi, d_eps])
-        s_values = _minimize_mass_rows(coeffs, d_coeffs, n_phi)
+        # Step 1: per-variable mass-minimizing combination with D,
+        # restricted to the symbols with a nonzero D coefficient.
+        phi_active = np.flatnonzero(d_phi)
+        eps_active = np.flatnonzero(d_eps)
+        r = np.concatenate([phi[phi_active, i], eps[eps_active, i]], axis=0)
+        s = np.concatenate([d_phi[phi_active], d_eps[eps_active]])
+        is_phi = np.concatenate([np.ones(len(phi_active), dtype=bool),
+                                 np.zeros(len(eps_active), dtype=bool)])
+        s_values = _minimize_mass_rows(r, s, is_phi)
         center[i] += s_values * d_center
-        phi[:, i] += np.outer(d_phi, s_values)
-        eps[:, i] += np.outer(d_eps, s_values)
+        if len(phi_active):
+            phi[phi_active, i] += np.outer(d_phi[phi_active], s_values)
+        eps[eps_active, i] += np.outer(d_eps[eps_active], s_values)
 
         # Step 2: symbol tightenings from D = 0 (D is unchanged by step 1
         # on the constraint set, and its affine form is fixed).
-        d_phi_mass = (norm_along_axis0(d_phi[:, None], z.q)[0]
-                      if n_phi else 0.0)
         for idx, (lo, hi) in _tightenings_from_constraint(
-                d_center, d_phi_mass, d_eps).items():
+                d_center, d_phi_mass_all[i], d_eps).items():
             if idx in combined:
                 prev_lo, prev_hi = combined[idx]
                 combined[idx] = (max(lo, prev_lo), min(hi, prev_hi))
@@ -244,6 +261,9 @@ def refine_softmax_rows(z):
             lo = hi = 0.5 * (lo + hi)
         rewrites.append(EpsRewrite(index=idx, mid=0.5 * (lo + hi),
                                    half=0.5 * (hi - lo)))
-    refined = MultiNormZonotope(center, phi, eps, z.p)
-    refined = apply_eps_rewrites(refined, rewrites)
-    return refined, rewrites
+        # Applied in place on the copied arrays (same update
+        # apply_eps_rewrites performs, minus a second full-block copy).
+        row = eps[idx]
+        center += row * rewrites[-1].mid
+        eps[idx] = row * rewrites[-1].half
+    return MultiNormZonotope(center, phi, eps, z.p), rewrites

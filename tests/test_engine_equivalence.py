@@ -1,0 +1,142 @@
+"""Structured fast path vs dense path: identical abstract semantics.
+
+The engine keeps fresh eps symbols as lazy one-nonzero-per-variable tails
+inside a capacity-doubling buffer (``repro.zonotope.storage``); forcing
+``dense_engine()`` reproduces the pre-optimization dense representation.
+Both paths must compute the *same* abstract values — these tests pin that
+down at the micro level (single transformers on random zonotopes) and end
+to end (full 2-layer propagations for every norm, both dot-product
+variants, with DecorrelateMin_k reduction enabled).
+"""
+
+import numpy as np
+import pytest
+
+from repro.zonotope import (MultiNormZonotope, dense_engine,
+                            fast_path_enabled, relu, tanh, exp, softmax,
+                            zonotope_matmul, DotProductConfig,
+                            reduce_noise_symbols)
+from repro.verify import VerifierConfig
+from repro.verify.propagation import propagate_classifier
+from repro.verify.regions import word_perturbation_region
+
+RTOL, ATOL = 1e-10, 1e-12
+NORMS = [1.0, 2.0, np.inf]
+
+
+def random_zonotope(rng, shape, p, n_phi=3, n_eps=4):
+    return MultiNormZonotope(
+        rng.normal(size=shape),
+        phi=0.3 * rng.normal(size=(n_phi,) + shape),
+        eps=0.2 * rng.normal(size=(n_eps,) + shape), p=p)
+
+
+def both_paths(fn, *zonotope_args):
+    """Run ``fn`` on the fast path and on the dense path; return both."""
+    assert fast_path_enabled()
+    fast = fn(*zonotope_args)
+    with dense_engine():
+        dense = fn(*zonotope_args)
+    return fast, dense
+
+
+def assert_same(fast, dense):
+    np.testing.assert_allclose(fast.center, dense.center, rtol=RTOL,
+                               atol=ATOL)
+    fl, fu = fast.bounds()
+    dl, du = dense.bounds()
+    np.testing.assert_allclose(fl, dl, rtol=RTOL, atol=ATOL)
+    np.testing.assert_allclose(fu, du, rtol=RTOL, atol=ATOL)
+    assert fast.n_eps == dense.n_eps
+    np.testing.assert_allclose(fast.eps, dense.eps, rtol=RTOL, atol=ATOL)
+
+
+class TestMicroEquivalence:
+    """Single transformers: the tail/buffer bookkeeping is exact."""
+
+    @pytest.mark.parametrize("p", NORMS)
+    def test_elementwise_chain(self, rng, p):
+        z = random_zonotope(rng, (4, 5), p)
+        fast, dense = both_paths(lambda x: tanh(relu(x)).scale(1.7) + 0.3, z)
+        assert_same(fast, dense)
+
+    @pytest.mark.parametrize("p", NORMS)
+    def test_softmax_pipeline_shapes(self, rng, p):
+        # exp -> expand/sum/reciprocal is the tail's main closure workout.
+        z = random_zonotope(rng, (3, 4), p)
+        fast, dense = both_paths(lambda x: softmax(x), z)
+        assert_same(fast, dense)
+
+    def test_structural_ops_keep_tail_lazy_and_exact(self, rng):
+        z = random_zonotope(rng, (3, 4), 2.0)
+
+        def pipeline(x):
+            y = exp(x)                          # appends a lazy tail
+            y = y.reshape(4, 3).transpose_vars(1, 0)
+            y = y.expand_dims(0)
+            y = y.sum_vars(axis=-1, keepdims=True)
+            return (-y).pad_eps(y.n_eps + 3)
+
+        fast, dense = both_paths(pipeline, z)
+        assert_same(fast, dense)
+
+    @pytest.mark.parametrize("order", ["linf_first", "lp_first"])
+    @pytest.mark.parametrize("variant", ["fast", "precise"])
+    def test_zonotope_matmul(self, rng, variant, order):
+        x = random_zonotope(rng, (3, 4), 2.0)
+        y = random_zonotope(rng, (4, 2), 2.0)
+        config = DotProductConfig(variant=variant, order=order)
+        fast, dense = both_paths(
+            lambda a, b: zonotope_matmul(exp(a), exp(b), config), x, y)
+        assert_same(fast, dense)
+
+    def test_zonotope_matmul_batched_with_tails(self, rng):
+        # Per-head batching: leading axes plus lazy tails on both operands
+        # exercises the padding-free cross scatter of the fast matmul.
+        x = random_zonotope(rng, (2, 3, 4), 2.0, n_eps=5)
+        y = random_zonotope(rng, (2, 4, 2), 2.0, n_eps=2)
+        fast, dense = both_paths(
+            lambda a, b: zonotope_matmul(exp(a), exp(b)), x, y)
+        assert_same(fast, dense)
+
+    def test_matmul_const_with_tail(self, rng):
+        z = random_zonotope(rng, (2, 3, 4), 2.0)
+        w = rng.normal(size=(4, 6))
+        fast, dense = both_paths(lambda a: exp(a).matmul_const(w), z)
+        assert_same(fast, dense)
+
+    def test_reduction_after_tail(self, rng):
+        z = random_zonotope(rng, (3, 4), np.inf, n_eps=6)
+        fast, dense = both_paths(
+            lambda x: reduce_noise_symbols(relu(x), 5), z)
+        assert_same(fast, dense)
+
+    def test_aligned_mixing_of_tailed_operands(self, rng):
+        a = random_zonotope(rng, (3, 4), 1.0)
+        b = random_zonotope(rng, (3, 4), 1.0)
+        fast, dense = both_paths(lambda x, y: relu(x) + tanh(y), a, b)
+        assert_same(fast, dense)
+
+
+class TestEndToEndEquivalence:
+    """Full 2-layer propagations agree across every engine configuration."""
+
+    @pytest.mark.parametrize("p", NORMS)
+    @pytest.mark.parametrize("variant", ["fast", "precise"])
+    def test_propagation_bounds_match(self, tiny_model, tiny_sentence, p,
+                                      variant):
+        # A small cap forces DecorrelateMin_k reduction at each layer input.
+        config = VerifierConfig(dot_product_variant=variant,
+                                noise_symbol_cap=48,
+                                reduction_strategy="mass")
+        region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                          0.02, p)
+        fast = propagate_classifier(tiny_model, region, config)
+        with dense_engine():
+            region = word_perturbation_region(tiny_model, tiny_sentence, 1,
+                                              0.02, p)
+            dense = propagate_classifier(tiny_model, region, config)
+        fl, fu = fast.bounds()
+        dl, du = dense.bounds()
+        np.testing.assert_allclose(fl, dl, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(fu, du, rtol=RTOL, atol=ATOL)

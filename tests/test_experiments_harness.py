@@ -1,12 +1,16 @@
 """Tests for the experiment harness utilities (not the heavy table runs —
 those live in benchmarks/)."""
 
+import os
+
 import numpy as np
 import pytest
 
+import repro.experiments.harness as harness
 from repro.experiments.harness import (ExperimentScale, SCALE, RadiusReport,
                                        format_radius_row,
                                        evaluation_sentences, get_corpus,
+                                       get_transformer, load_cached_state,
                                        _positions_for)
 from repro.experiments.tables import run_figure4
 
@@ -67,6 +71,49 @@ class TestEvaluationProtocol:
         b = get_corpus("sst-small", scale)
         assert a is b
 
+
+class TestModelCacheRecovery:
+    """A corrupt/truncated cache .npz must trigger a retrain, not a crash."""
+
+    SCALE = ExperimentScale(embed_dim=8, n_heads=2, hidden_dim=8,
+                            max_len=12, n_train=40, n_test=10, epochs=2,
+                            seed=5)
+
+    def test_load_cached_state_rejects_garbage(self, tmp_path):
+        from repro.nn import TransformerClassifier
+        path = str(tmp_path / "bad.npz")
+        with open(path, "wb") as f:
+            f.write(b"this is definitely not a zip archive")
+        model = TransformerClassifier(20, embed_dim=8, n_heads=2,
+                                      hidden_dim=8, n_layers=1, max_len=12)
+        with pytest.warns(UserWarning, match="corrupt model cache"):
+            assert not load_cached_state(model, path)
+        assert not os.path.exists(path)  # bad file deleted
+
+    def test_get_transformer_recovers_from_garbage_cache(self, tmp_path,
+                                                         monkeypatch):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        monkeypatch.setattr(harness, "model_cache_dir",
+                            lambda: str(cache_dir))
+        model, _, _ = get_transformer("sst-small", n_layers=1,
+                                      scale=self.SCALE)
+        [cache_file] = [f for f in os.listdir(cache_dir)
+                        if f.endswith(".npz")]
+        reference = {k: v.copy() for k, v in model.state_dict().items()}
+
+        path = os.path.join(cache_dir, cache_file)
+        with open(path, "wb") as f:
+            f.write(b"\x00garbage" * 100)
+        with pytest.warns(UserWarning, match="corrupt model cache"):
+            recovered, _, _ = get_transformer("sst-small", n_layers=1,
+                                              scale=self.SCALE)
+        # Training is seeded, so the retrained weights match the originals.
+        for key, value in reference.items():
+            np.testing.assert_allclose(recovered.state_dict()[key], value)
+        # The rewritten cache is a valid archive again.
+        with np.load(path) as archive:
+            assert set(archive.files) == set(reference)
 
 class TestFigure4:
     def test_reproduces_paper_geometry(self):
