@@ -1,0 +1,152 @@
+"""Scheduler benchmark: serial vs parallel wall-clock plus cache stats.
+
+Runs the Table 1 workload (3-layer ``sst-small`` transformer, DeepT-Fast,
+all three norms, several word positions per sentence) three times through
+:class:`repro.scheduler.CertScheduler`:
+
+1. **serial**   — ``workers=0``, no cache (the classic harness path);
+2. **parallel** — ``--workers`` fork processes against a cold cache;
+3. **warm**     — the same scheduler again: every query must come from the
+                  cache with zero recomputed queries.
+
+The certified radii of all three runs are asserted identical (the query
+executor is a pure function of weights and query, so parallelism and
+caching change wall-clock only). Results land in
+``benchmarks/results/BENCH_scheduler.json``: per-run wall time, the
+parallel speedup, cache hit/miss/executed stats, and the host CPU count
+(the speedup is hardware-bound: a single-core container cannot beat the
+serial path no matter the worker count).
+
+Run standalone (not through pytest):
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.experiments.harness import SCALE, get_transformer, \
+    evaluation_sentences
+from repro.scheduler import CertScheduler, expand_word_queries, \
+    model_weight_hash
+from repro.verify import FAST
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+_NORMS = {"l1": 1.0, "l2": 2.0, "linf": np.inf}
+
+
+def build_workload(model, sentences, norms, n_positions):
+    """The Table 1 query bag: every (norm, sentence, position) combo."""
+    config = FAST(noise_symbol_cap=SCALE.noise_symbol_cap)
+    model_hash = model_weight_hash(model)
+    queries = []
+    for norm_name in norms:
+        queries.extend(expand_word_queries(
+            model, sentences, _NORMS[norm_name], verifier="deept",
+            config=config, n_positions=n_positions,
+            n_iterations=SCALE.search_iterations, model_hash=model_hash))
+    return queries
+
+
+def timed_run(scheduler, model, queries):
+    start = time.perf_counter()
+    outcomes = scheduler.run(model, queries)
+    seconds = time.perf_counter() - start
+    return [o.radius for o in outcomes], seconds, scheduler.last_stats
+
+
+def run_benchmark(workers=4, n_sentences=1, n_positions=4,
+                  norms=("l1", "l2", "linf")):
+    model, dataset, accuracy = get_transformer("sst-small", n_layers=3)
+    sentences = evaluation_sentences(model, dataset, n_sentences)
+    queries = build_workload(model, sentences, norms, n_positions)
+    print(f"workload: {len(queries)} queries "
+          f"({len(sentences)} sentences x {n_positions} positions x "
+          f"{len(norms)} norms), workers={workers}, "
+          f"cpus={os.cpu_count()}")
+
+    serial_radii, serial_seconds, _ = timed_run(
+        CertScheduler(workers=0), model, queries)
+    print(f"serial  : {serial_seconds:.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="bench_cert_cache_") as cache:
+        parallel = CertScheduler(workers=workers, cache_dir=cache)
+        parallel_radii, parallel_seconds, cold_stats = timed_run(
+            parallel, model, queries)
+        print(f"parallel: {parallel_seconds:.2f}s "
+              f"(speedup {serial_seconds / parallel_seconds:.2f}x)")
+
+        warm_radii, warm_seconds, warm_stats = timed_run(
+            parallel, model, queries)
+        print(f"warm    : {warm_seconds:.2f}s "
+              f"({warm_stats['cache_hits']}/{len(queries)} cache hits)")
+
+    identical = (serial_radii == parallel_radii == warm_radii)
+    recomputed = sum(warm_stats["executed"].values())
+    assert identical, "parallel/cached radii differ from serial"
+    assert recomputed == 0, f"warm run recomputed {recomputed} queries"
+    assert warm_stats["cache_hits"] == len(queries)
+
+    return {
+        "benchmark": "scheduler",
+        "model": "sst-small L3 (Table 1 workload)",
+        "accuracy": float(accuracy),
+        "n_queries": len(queries),
+        "norms": list(norms),
+        "n_sentences": len(sentences),
+        "n_positions": n_positions,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_recomputed_queries": recomputed,
+        "radii_identical": identical,
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "min_radius": float(min(serial_radii)),
+        "avg_radius": float(np.mean(serial_radii)),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke mode)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default=os.path.join(
+        RESULTS_DIR, "BENCH_scheduler.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = run_benchmark(workers=args.workers, n_positions=2,
+                               norms=("l2",))
+    else:
+        result = run_benchmark(workers=args.workers)
+    result["quick"] = args.quick
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+
+    print(f"speedup : {result['speedup']:.2f}x at "
+          f"{result['workers']} workers on {result['cpu_count']} cpus "
+          f"(radii identical: {result['radii_identical']}, warm recompute: "
+          f"{result['warm_recomputed_queries']})")
+    print(f"wrote {args.out}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

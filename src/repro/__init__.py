@@ -17,6 +17,8 @@ Top-level layout:
   enumeration, and the complete branch-and-bound verifier;
 * :mod:`repro.perf`       — engine instrumentation (stage timers, symbol
   counters) reported by the verifier and harness;
+* :mod:`repro.scheduler`  — parallel certification-query scheduler with a
+  persistent result cache (the harness submits through it);
 * :mod:`repro.experiments` — runners regenerating every paper table.
 """
 

@@ -2,14 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments            # run everything (slow)
-    python -m repro.experiments 1 4 13     # run selected tables
-    python -m repro.experiments figure4    # the Figure 4 geometry data
+    python -m repro.experiments                    # run everything (slow)
+    python -m repro.experiments 1 4 13             # run selected tables
+    python -m repro.experiments figure4            # the Figure 4 data
+    python -m repro.experiments 1 --workers 4      # parallel radius queries
+    python -m repro.experiments 1 --cache          # memoize completed
+                                                   # queries in .cert_cache
+
+``--workers N`` fans the certification queries of every radius report
+across N worker processes (N=0 keeps the classic serial path); the
+certified radii are identical either way. ``--cache`` (or
+``--cache-dir PATH``) memoizes completed queries on disk keyed by model
+weights, corpus fingerprint and query config, so re-runs and extended
+sweeps only pay for new queries.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from . import tables
 
@@ -23,17 +33,57 @@ _RUNNERS = {
 }
 
 
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables at the repro scale.")
+    parser.add_argument(
+        "experiments", nargs="*", metavar="TABLE",
+        help=f"tables to run (default: all); choose from "
+             f"{sorted(_RUNNERS)}")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="certification-query worker processes (0 = serial, default)")
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="memoize completed queries in the default .cert_cache dir")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="memoize completed queries in PATH (implies --cache)")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query worker timeout before retry/in-process fallback")
+    return parser
+
+
 def main(argv=None):
     """Run the selected experiment runners; returns a process exit code."""
-    argv = sys.argv[1:] if argv is None else argv
-    selected = argv or sorted(_RUNNERS, key=lambda k: (len(k), k))
+    args = _build_parser().parse_args(argv)
+    selected = args.experiments or sorted(_RUNNERS,
+                                          key=lambda k: (len(k), k))
     unknown = [key for key in selected if key not in _RUNNERS]
     if unknown:
         print(f"unknown experiments: {unknown}; "
               f"choose from {sorted(_RUNNERS)}")
         return 1
+
+    from ..scheduler import configure, default_cache_dir
+    cache_dir = args.cache_dir or (default_cache_dir() if args.cache
+                                   else None)
+    scheduler = configure(workers=args.workers, cache_dir=cache_dir,
+                          timeout=args.timeout)
+    if args.workers or cache_dir:
+        print(f"scheduler: workers={args.workers}, "
+              f"cache={cache_dir or 'off'}")
+
     for key in selected:
         _RUNNERS[key]()
+        if scheduler.last_stats and (args.workers or cache_dir):
+            stats = scheduler.last_stats
+            print(f"[scheduler] last report: {stats['queries']} queries, "
+                  f"{stats['cache_hits']} cache hits, "
+                  f"{stats['retries']} retries, "
+                  f"{stats['fallbacks']} fallbacks")
     return 0
 
 

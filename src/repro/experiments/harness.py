@@ -21,9 +21,8 @@ import numpy as np
 from ..nlp import make_corpus
 from ..nn import (TransformerClassifier, train_transformer,
                   evaluate_transformer)
-from ..perf import PERF
-from ..verify import DeepTVerifier, max_certified_radius
-from ..verify.radius import binary_search_radius
+from ..scheduler import (expand_word_queries, get_default_scheduler,
+                         merge_outcome_perf, positions_for)
 
 __all__ = ["ExperimentScale", "SCALE", "model_cache_dir", "get_corpus",
            "get_transformer", "load_cached_state", "evaluation_sentences",
@@ -206,50 +205,47 @@ class RadiusReport:
         return float(np.mean(self.radii)) if self.radii else 0.0
 
 
-def _positions_for(sequence, n_positions, seed=0):
-    """Content-word positions to perturb (position 0 is [CLS])."""
-    rng = np.random.default_rng(seed)
-    candidates = np.arange(1, len(sequence))
-    chosen = rng.permutation(candidates)[:n_positions]
-    return sorted(int(c) for c in chosen)
+# Re-exported for callers/tests that used the harness-private name; the
+# canonical home is repro.scheduler.queries (shared with query expansion).
+_positions_for = positions_for
+
+
+def _radius_report(model, sentences, p, scale, name, seed, scheduler,
+                   **expand_kwargs):
+    """Shared engine: expand → schedule → merge, in input-query order."""
+    scale = scale or SCALE
+    scheduler = scheduler or get_default_scheduler()
+    queries = expand_word_queries(
+        model, sentences, p, n_positions=scale.n_positions, seed=seed,
+        n_iterations=scale.search_iterations, **expand_kwargs)
+    report = RadiusReport(name=name)
+    start = time.perf_counter()
+    outcomes = scheduler.run(model, queries)
+    report.radii = [outcome.radius for outcome in outcomes]
+    report.perf = merge_outcome_perf(outcomes)
+    report.seconds = time.perf_counter() - start
+    return report
 
 
 def radius_report_deept(model, sentences, p, config, scale=None, name="DeepT",
-                        seed=0):
-    """Max-radius statistics for a DeepT verifier configuration."""
-    scale = scale or SCALE
-    verifier = DeepTVerifier(model, config)
-    report = RadiusReport(name=name)
-    start = time.perf_counter()
-    with PERF.collecting() as recorder:
-        for sequence in sentences:
-            for position in _positions_for(sequence, scale.n_positions,
-                                           seed):
-                report.radii.append(max_certified_radius(
-                    verifier, sequence, position, p,
-                    n_iterations=scale.search_iterations))
-        report.perf = recorder.snapshot()
-    report.seconds = time.perf_counter() - start
-    return report
+                        seed=0, scheduler=None):
+    """Max-radius statistics for a DeepT verifier configuration.
+
+    Queries are submitted through ``scheduler`` (default: the process-wide
+    :func:`repro.scheduler.get_default_scheduler` — serial in-process with
+    no cache unless configured otherwise, e.g. by the ``--workers`` CLI
+    flag). Radii are identical for every worker count; only the wall time
+    in ``report.seconds`` changes.
+    """
+    return _radius_report(model, sentences, p, scale, name, seed, scheduler,
+                          verifier="deept", config=config)
 
 
 def radius_report_crown(model, sentences, p, backsub_depth, scale=None,
-                        name="CROWN", seed=0):
+                        name="CROWN", seed=0, scheduler=None):
     """Max-radius statistics for a CROWN verifier at a given depth."""
-    from ..baselines.crown import CrownVerifier
-    scale = scale or SCALE
-    verifier = CrownVerifier(model, backsub_depth=backsub_depth)
-    report = RadiusReport(name=name)
-    start = time.perf_counter()
-    for sequence in sentences:
-        true_label = model.predict(sequence)
-        for position in _positions_for(sequence, scale.n_positions, seed):
-            report.radii.append(binary_search_radius(
-                lambda r: verifier.certify_word_perturbation(
-                    sequence, position, r, p, true_label=true_label),
-                n_iterations=scale.search_iterations))
-    report.seconds = time.perf_counter() - start
-    return report
+    return _radius_report(model, sentences, p, scale, name, seed, scheduler,
+                          verifier="crown", backsub_depth=backsub_depth)
 
 
 def format_radius_row(label, reports):

@@ -22,6 +22,7 @@ Enable explicitly (``PERF.enable()``) or scoped (``with PERF.collecting():``
 
 from __future__ import annotations
 
+import os
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -92,6 +93,26 @@ class PerfRecorder:
         finally:
             self.enabled = previous
 
+    # ----------------------------------------------------------- aggregation
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` dict into this recorder.
+
+        Stage seconds/call counts and event counters add; gauges keep the
+        running maximum. Aggregation bypasses the ``enabled`` gate — it is
+        bookkeeping over already-recorded data (e.g. snapshots shipped back
+        from scheduler worker processes), not new instrumentation.
+        """
+        for name, entry in snapshot.get("stages", {}).items():
+            self.stage_seconds[name] += float(entry["seconds"])
+            self.stage_calls[name] += int(entry["calls"])
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] += value
+        for name, value in snapshot.get("gauges", {}).items():
+            previous = self.gauges.get(name)
+            if previous is None or value > previous:
+                self.gauges[name] = value
+        return self
+
     # ------------------------------------------------------------- reporting
     def snapshot(self):
         """A plain-dict copy of everything recorded (JSON-serializable)."""
@@ -120,3 +141,9 @@ class PerfRecorder:
 
 PERF = PerfRecorder()
 """The process-global recorder every engine hook reports into."""
+
+# Fork safety: a forked worker (the certification scheduler's pool) must not
+# inherit the parent's half-recorded data — each child starts from a clean
+# recorder and ships its own snapshots back for the parent to merge().
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=PERF.reset)

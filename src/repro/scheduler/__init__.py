@@ -1,0 +1,56 @@
+"""Parallel certification scheduler with a persistent result cache.
+
+The paper's protocol certifies a maximal radius per (sentence, position,
+norm, verifier variant) by binary search — independent queries that this
+package expands (:mod:`~repro.scheduler.queries`), fans across a fork
+worker pool with timeout/retry/fallback
+(:mod:`~repro.scheduler.scheduler`), and memoizes on disk keyed by model
+weights, corpus fingerprint and query config
+(:mod:`~repro.scheduler.cache`). The experiment harness submits every
+radius report through the process-wide default scheduler; ``python -m
+repro.experiments --workers N [--cache]`` configures it from the CLI.
+"""
+
+from .queries import (CertQuery, model_weight_hash, corpus_fingerprint,
+                      verifier_config_items, positions_for,
+                      expand_word_queries)
+from .cache import ResultCache, default_cache_dir
+from .scheduler import QueryOutcome, CertScheduler, merge_outcome_perf
+from .worker import execute_query
+
+__all__ = [
+    "CertQuery", "model_weight_hash", "corpus_fingerprint",
+    "verifier_config_items", "positions_for", "expand_word_queries",
+    "ResultCache", "default_cache_dir",
+    "QueryOutcome", "CertScheduler", "merge_outcome_perf",
+    "execute_query",
+    "get_default_scheduler", "set_default_scheduler", "configure",
+]
+
+_DEFAULT = None
+
+
+def get_default_scheduler():
+    """The process-wide scheduler the harness submits through.
+
+    Defaults to serial in-process execution with no cache — exactly the
+    classic single-core harness behaviour.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CertScheduler(workers=0)
+    return _DEFAULT
+
+
+def set_default_scheduler(scheduler):
+    """Replace the process-wide default scheduler; returns it."""
+    global _DEFAULT
+    _DEFAULT = scheduler
+    return scheduler
+
+
+def configure(workers=0, cache_dir=None, timeout=None):
+    """Install a fresh default scheduler from knob values; returns it."""
+    return set_default_scheduler(CertScheduler(workers=workers,
+                                               cache_dir=cache_dir,
+                                               timeout=timeout))

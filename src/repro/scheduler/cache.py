@@ -1,0 +1,98 @@
+"""Persistent on-disk cache of completed certification queries.
+
+Each completed :class:`~repro.scheduler.queries.CertQuery` is stored as one
+JSON file named by the query's content hash, sharded into 256 two-hex-digit
+subdirectories (``<dir>/ab/ab12....json``) so a long sweep never piles tens
+of thousands of entries into one directory. The key already covers the
+model weight hash, the corpus fingerprint and every query parameter, so a
+hit is valid by construction — there is no separate invalidation step:
+retraining the model or regenerating the corpus simply changes the key.
+
+Writes are atomic (temp file + ``os.replace``) and all cache I/O happens in
+the scheduler's parent process, so pool workers never race on the files.
+A corrupt or truncated entry (killed process, disk hiccup) is treated as a
+miss and deleted, mirroring the model-zoo cache recovery in
+``repro.experiments.harness``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir():
+    """``.cert_cache`` at the repository root (created on first write)."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(root, ".cert_cache")
+
+
+class ResultCache:
+    """Query-keyed radius store; see the module docstring for layout."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def _entry_path(self, query):
+        key = query.key()
+        return os.path.join(self.path, key[:2], key + ".json")
+
+    # --------------------------------------------------------------- lookup
+    def get(self, query):
+        """The cached payload dict for ``query``, or None on a miss.
+
+        Payloads hold ``radius``, ``seconds`` and the worker's ``perf``
+        snapshot. Unreadable entries are deleted and reported as misses.
+        """
+        path = self._entry_path(query)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            if payload.get("version") != _FORMAT_VERSION:
+                raise ValueError(f"unknown cache version "
+                                 f"{payload.get('version')!r}")
+            float(payload["radius"])  # validates the one load-bearing field
+            return payload
+        except (OSError, ValueError, KeyError, TypeError) as e:
+            warnings.warn(f"discarding corrupt result cache entry {path!r} "
+                          f"({type(e).__name__}: {e})", stacklevel=2)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    # ---------------------------------------------------------------- store
+    def put(self, query, radius, seconds, perf):
+        """Persist a completed query's result (atomic replace)."""
+        path = self._entry_path(query)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "key": query.key(),
+            "query": query.describe(),
+            "radius": float(radius),
+            "seconds": float(seconds),
+            "perf": perf,
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,188 @@
+"""The certification-query scheduler (fan-out, retry, fallback, memoize).
+
+:class:`CertScheduler` runs a flat list of
+:class:`~repro.scheduler.queries.CertQuery` records and returns one
+:class:`QueryOutcome` per query, *in input order* regardless of completion
+order. Execution strategy per run:
+
+1. every query is first looked up in the persistent result cache (when one
+   is configured) — hits never touch a worker;
+2. misses fan out across a ``multiprocessing`` fork pool of ``workers``
+   processes, each guarded by a per-query timeout, one retry, and a final
+   graceful fallback to in-process execution (also taken wholesale when
+   ``workers == 0``, when the platform lacks fork, or when the pool cannot
+   be created);
+3. completed misses are written back to the cache, and per-worker
+   ``repro.perf`` snapshots ride along on each outcome for the caller to
+   aggregate (:func:`merge_outcome_perf` — deterministic query-key order,
+   not completion order).
+
+Because :func:`~repro.scheduler.worker.execute_query` is a pure function of
+(weights, query), the radii are bitwise identical across all of these
+paths; parallelism and caching change wall-clock time only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from ..perf import PerfRecorder
+from .cache import ResultCache
+from .worker import _pool_init, _pool_run, execute_query
+
+__all__ = ["QueryOutcome", "CertScheduler", "merge_outcome_perf"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one scheduled query.
+
+    ``source`` records how the radius was obtained: ``"cache"``,
+    ``"worker"``, ``"worker-retry"``, or ``"inprocess"`` (the serial path
+    and every fallback).
+    """
+
+    query: object
+    radius: float
+    seconds: float
+    perf: dict | None
+    source: str
+
+
+def merge_outcome_perf(outcomes):
+    """Aggregate outcome perf snapshots in query-key order.
+
+    Sorting by the content key makes the merged snapshot independent of
+    completion order (stage seconds and counters add commutatively, but a
+    fixed fold order keeps even float summation reproducible run-to-run).
+    """
+    recorder = PerfRecorder()
+    for outcome in sorted(outcomes, key=lambda o: o.query.key()):
+        if outcome.perf:
+            recorder.merge(outcome.perf)
+    return recorder.snapshot()
+
+
+def _fork_available():
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class CertScheduler:
+    """Schedules certification queries across workers with memoization.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``0`` keeps the classic serial in-process path.
+    cache_dir:
+        Directory for the persistent result cache; ``None`` disables
+        memoization entirely.
+    timeout:
+        Per-query seconds to wait for a worker result before the
+        retry/fallback ladder kicks in; ``None`` waits forever.
+
+    After every :meth:`run`, ``last_stats`` holds the run's counters
+    (cache hits/misses, executed-by-source breakdown, retries, fallbacks).
+    """
+
+    def __init__(self, workers=0, cache_dir=None, timeout=None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+        self.timeout = timeout
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.last_stats = None
+
+    # ------------------------------------------------------------------ run
+    def run(self, model, queries):
+        """Execute ``queries`` against ``model``; outcomes in input order."""
+        queries = list(queries)
+        outcomes = [None] * len(queries)
+        stats = {
+            "queries": len(queries), "workers": self.workers,
+            "cache_hits": 0, "cache_misses": 0,
+            "executed": {"worker": 0, "worker-retry": 0, "inprocess": 0},
+            "retries": 0, "fallbacks": 0,
+        }
+
+        miss_indices = []
+        for index, query in enumerate(queries):
+            payload = self.cache.get(query) if self.cache else None
+            if payload is not None:
+                stats["cache_hits"] += 1
+                outcomes[index] = QueryOutcome(
+                    query=query, radius=float(payload["radius"]),
+                    seconds=float(payload["seconds"]),
+                    perf=payload.get("perf"), source="cache")
+            else:
+                stats["cache_misses"] += 1
+                miss_indices.append(index)
+
+        if miss_indices:
+            if self.workers > 0 and len(miss_indices) > 1 \
+                    and _fork_available():
+                self._run_pool(model, queries, miss_indices, outcomes,
+                               stats)
+            else:
+                for index in miss_indices:
+                    outcomes[index] = self._run_inprocess(model,
+                                                          queries[index],
+                                                          stats)
+            if self.cache:
+                for index in miss_indices:
+                    outcome = outcomes[index]
+                    self.cache.put(outcome.query, outcome.radius,
+                                   outcome.seconds, outcome.perf)
+
+        self.last_stats = stats
+        return outcomes
+
+    # ------------------------------------------------------------ execution
+    def _run_inprocess(self, model, query, stats):
+        radius, seconds, perf = execute_query(model, query)
+        stats["executed"]["inprocess"] += 1
+        return QueryOutcome(query=query, radius=radius, seconds=seconds,
+                            perf=perf, source="inprocess")
+
+    def _run_pool(self, model, queries, miss_indices, outcomes, stats):
+        """Fan misses across a fork pool; never raises — falls back."""
+        context = multiprocessing.get_context("fork")
+        try:
+            pool = context.Pool(min(self.workers, len(miss_indices)),
+                                initializer=_pool_init, initargs=(model,))
+        except Exception:
+            stats["fallbacks"] += 1
+            for index in miss_indices:
+                outcomes[index] = self._run_inprocess(model, queries[index],
+                                                      stats)
+            return
+        try:
+            handles = [pool.apply_async(_pool_run, (queries[index],))
+                       for index in miss_indices]
+            for index, handle in zip(miss_indices, handles):
+                outcomes[index] = self._collect(pool, model, queries[index],
+                                                handle, stats)
+        finally:
+            pool.terminate()
+            pool.join()
+
+    def _collect(self, pool, model, query, handle, stats):
+        """One result, through the timeout → retry → in-process ladder."""
+        try:
+            radius, seconds, perf = handle.get(self.timeout)
+            stats["executed"]["worker"] += 1
+            return QueryOutcome(query=query, radius=radius,
+                                seconds=seconds, perf=perf, source="worker")
+        except Exception:
+            stats["retries"] += 1
+        try:
+            retry = pool.apply_async(_pool_run, (query,))
+            radius, seconds, perf = retry.get(self.timeout)
+            stats["executed"]["worker-retry"] += 1
+            return QueryOutcome(query=query, radius=radius,
+                                seconds=seconds, perf=perf,
+                                source="worker-retry")
+        except Exception:
+            stats["fallbacks"] += 1
+            return self._run_inprocess(model, query, stats)

@@ -1,0 +1,73 @@
+"""Query execution: the pure radius computation plus fork-pool glue.
+
+:func:`execute_query` is a *pure function* of (model weights, query): it
+reruns the exact binary search the serial harness ran — same verifier
+construction, same true-label computation, same bracketing parameters — so
+a query's certified radius is bitwise identical whether it is computed in
+the parent process, in a pool worker, or replayed from a previous run.
+That determinism is what makes the scheduler's result cache and its
+serial-vs-parallel equivalence guarantee sound.
+
+Pool workers receive the model once, through the fork-context pool
+initializer (fork inherits the parent's memory, so no per-query model
+pickling), and reset the process-global :data:`repro.perf.PERF` on start
+so each worker's snapshots cover only its own queries. Every executed
+query returns ``(radius, seconds, perf_snapshot)``; the parent merges the
+snapshots via :meth:`PerfRecorder.merge` in deterministic key order.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..perf import PERF
+
+__all__ = ["execute_query"]
+
+_WORKER_MODEL = None
+
+
+def _build_verifier(model, query):
+    if query.verifier == "deept":
+        from ..verify import DeepTVerifier, VerifierConfig
+        return DeepTVerifier(model, VerifierConfig(**dict(query.config)))
+    from ..baselines.crown import CrownVerifier
+    return CrownVerifier(model,
+                         backsub_depth=dict(query.config)["backsub_depth"])
+
+
+def execute_query(model, query):
+    """Run one certification query; returns (radius, seconds, perf).
+
+    ``perf`` is the :meth:`repro.perf.PerfRecorder.snapshot` covering
+    exactly this query's propagations.
+    """
+    from ..verify.radius import binary_search_radius
+
+    start = time.perf_counter()
+    token_ids = list(query.sentence)
+    with PERF.collecting() as recorder:
+        verifier = _build_verifier(model, query)
+        true_label = model.predict(token_ids)
+
+        def certify(radius):
+            return bool(verifier.certify_word_perturbation(
+                token_ids, query.position, radius, query.p,
+                true_label=true_label))
+
+        radius = binary_search_radius(certify, initial=query.initial,
+                                      n_iterations=query.n_iterations)
+        perf = recorder.snapshot()
+    return radius, time.perf_counter() - start, perf
+
+
+def _pool_init(model):
+    """Pool initializer: adopt the forked model, start a clean recorder."""
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+    PERF.reset()
+
+
+def _pool_run(query):
+    """Pool task: execute one query against the worker's model."""
+    return execute_query(_WORKER_MODEL, query)

@@ -232,6 +232,52 @@ class TestRadiusSearch:
                                       n_iterations=16)
         assert radius == pytest.approx(50.0, rel=1e-2)
 
+    def test_binary_search_fails_at_initial_shrinks_to_threshold(self):
+        """Threshold below ``initial``: the shrink phase must find it."""
+        radius = binary_search_radius(lambda r: r <= 0.003, initial=0.01,
+                                      n_iterations=20)
+        assert radius == pytest.approx(0.003, rel=1e-3)
+        assert radius <= 0.003  # the returned radius itself certifies
+
+    def test_binary_search_succeeds_at_max_radius_terminates(self):
+        """An always-certifiable predicate must not double forever."""
+        calls = []
+
+        def certify(radius):
+            calls.append(radius)
+            return True
+
+        radius = binary_search_radius(certify, initial=0.01,
+                                      max_radius=100.0, n_iterations=8)
+        assert np.isfinite(radius)
+        assert radius >= 100.0  # bracketing passed max_radius before stop
+        assert len(calls) < 50
+
+    def test_binary_search_nonmonotone_terminates(self):
+        """A non-monotone predicate still terminates in bounded calls.
+
+        The result is only meaningful for monotone predicates, but a buggy
+        or flaky verifier must never hang the harness.
+        """
+        predicates = [
+            lambda r: 0.5 < r < 0.6,            # certifiable band only
+            lambda r: r <= 0.003 or 1.0 < r < 2.0,
+            lambda r: int(r * 1e4) % 2 == 0,    # rapidly alternating
+        ]
+        for certify in predicates:
+            calls = []
+
+            def counted(radius, certify=certify):
+                calls.append(radius)
+                return certify(radius)
+
+            radius = binary_search_radius(counted, initial=0.01,
+                                          n_iterations=12)
+            assert np.isfinite(radius) and radius >= 0.0
+            # Bracketing is bounded by max_radius doublings, shrink and
+            # bisection by n_iterations each.
+            assert len(calls) < 60
+
     def test_max_certified_radius_positive_for_trained_model(
             self, tiny_model, tiny_sentence):
         verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
