@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..verify.guards import certified_from_margin
 from .graph import build_transformer_graph, interval_propagate
 from .relaxations import unary_relaxation, mul_relaxation
 
@@ -357,8 +358,8 @@ class CrownVerifier:
     # ----------------------------------------------------------- public API
     def certify_region(self, region, true_label):
         """True iff the backsubstituted margin bound is positive."""
-        lower = self.margin_lower_bound(region, true_label)
-        return bool(np.isfinite(lower) and lower > 0)
+        return certified_from_margin(
+            self.margin_lower_bound(region, true_label))
 
     def certify_word_perturbation(self, token_ids, position, radius, p,
                                   true_label=None):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..verify.guards import certified_from_margin
 from .graph import build_transformer_graph, interval_propagate
 from .crown import LpBallInputRegion, BoxInputRegion
 
@@ -35,8 +36,8 @@ class IntervalVerifier:
 
     def certify_region(self, region, true_label):
         """True iff the IBP margin bound is strictly positive."""
-        lower = self.margin_lower_bound(region, true_label)
-        return bool(np.isfinite(lower) and lower > 0)
+        return certified_from_margin(
+            self.margin_lower_bound(region, true_label))
 
     def certify_word_perturbation(self, token_ids, position, radius, p,
                                   true_label=None):

@@ -8,13 +8,19 @@ Usage::
     python -m repro.experiments 1 --workers 4      # parallel radius queries
     python -m repro.experiments 1 --cache          # memoize completed
                                                    # queries in .cert_cache
+    python -m repro.experiments 1 --resume         # resume a crashed run
+                                                   # from .cert_journal.jsonl
 
 ``--workers N`` fans the certification queries of every radius report
 across N worker processes (N=0 keeps the classic serial path); the
 certified radii are identical either way. ``--cache`` (or
 ``--cache-dir PATH``) memoizes completed queries on disk keyed by model
 weights, corpus fingerprint and query config, so re-runs and extended
-sweeps only pay for new queries.
+sweeps only pay for new queries. ``--journal PATH`` appends every
+completed query outcome to a crash-safe fsync'd JSONL journal as the run
+progresses; ``--resume`` replays that journal first and recomputes only
+the queries it is missing, producing radii identical to an uninterrupted
+run.
 """
 
 from __future__ import annotations
@@ -53,6 +59,13 @@ def _build_parser():
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-query worker timeout before retry/in-process fallback")
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append completed query outcomes to a crash-safe JSONL "
+             "journal at PATH (default when resuming: .cert_journal.jsonl)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal and recompute only missing entries")
     return parser
 
 
@@ -71,19 +84,26 @@ def main(argv=None):
     cache_dir = args.cache_dir or (default_cache_dir() if args.cache
                                    else None)
     scheduler = configure(workers=args.workers, cache_dir=cache_dir,
-                          timeout=args.timeout)
-    if args.workers or cache_dir:
+                          timeout=args.timeout, journal_path=args.journal,
+                          resume=args.resume)
+    verbose = bool(args.workers or cache_dir or scheduler.journal)
+    if verbose:
+        journal_path = scheduler.journal.path if scheduler.journal \
+            else "off"
         print(f"scheduler: workers={args.workers}, "
-              f"cache={cache_dir or 'off'}")
+              f"cache={cache_dir or 'off'}, journal={journal_path}"
+              f"{' (resume)' if args.resume else ''}")
 
     for key in selected:
         _RUNNERS[key]()
-        if scheduler.last_stats and (args.workers or cache_dir):
+        if scheduler.last_stats and verbose:
             stats = scheduler.last_stats
             print(f"[scheduler] last report: {stats['queries']} queries, "
+                  f"{stats['journal_hits']} journal hits, "
                   f"{stats['cache_hits']} cache hits, "
                   f"{stats['retries']} retries, "
-                  f"{stats['fallbacks']} fallbacks")
+                  f"{stats['fallbacks']} fallbacks, "
+                  f"{stats['degraded']} degraded")
     return 0
 
 

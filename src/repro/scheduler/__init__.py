@@ -15,6 +15,7 @@ from .queries import (CertQuery, model_weight_hash, corpus_fingerprint,
                       verifier_config_items, positions_for,
                       expand_word_queries)
 from .cache import ResultCache, default_cache_dir
+from .journal import RunJournal, default_journal_path
 from .scheduler import QueryOutcome, CertScheduler, merge_outcome_perf
 from .worker import execute_query
 
@@ -22,6 +23,7 @@ __all__ = [
     "CertQuery", "model_weight_hash", "corpus_fingerprint",
     "verifier_config_items", "positions_for", "expand_word_queries",
     "ResultCache", "default_cache_dir",
+    "RunJournal", "default_journal_path",
     "QueryOutcome", "CertScheduler", "merge_outcome_perf",
     "execute_query",
     "get_default_scheduler", "set_default_scheduler", "configure",
@@ -49,8 +51,20 @@ def set_default_scheduler(scheduler):
     return scheduler
 
 
-def configure(workers=0, cache_dir=None, timeout=None):
-    """Install a fresh default scheduler from knob values; returns it."""
+def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
+              resume=False):
+    """Install a fresh default scheduler from knob values; returns it.
+
+    ``journal_path`` enables the crash-safe run journal there (``resume``
+    keeps and replays an existing journal; otherwise a leftover file is
+    truncated for a fresh run). ``resume`` alone journals at the default
+    :func:`default_journal_path`.
+    """
+    journal = None
+    if journal_path or resume:
+        journal = RunJournal(journal_path or default_journal_path(),
+                             resume=resume)
     return set_default_scheduler(CertScheduler(workers=workers,
                                                cache_dir=cache_dir,
-                                               timeout=timeout))
+                                               timeout=timeout,
+                                               journal=journal))

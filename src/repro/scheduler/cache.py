@@ -22,9 +22,13 @@ import os
 import tempfile
 import warnings
 
+from ..faults import fault_cache_commit, fault_cache_committed
+
 __all__ = ["ResultCache", "default_cache_dir"]
 
-_FORMAT_VERSION = 1
+# 2: payloads carry the degradation metadata (degraded / fallback_chain /
+# fault) alongside radius, seconds and perf.
+_FORMAT_VERSION = 2
 
 
 def default_cache_dir():
@@ -72,7 +76,8 @@ class ResultCache:
             return None
 
     # ---------------------------------------------------------------- store
-    def put(self, query, radius, seconds, perf):
+    def put(self, query, radius, seconds, perf, degraded=False,
+            fallback_chain=(), fault=None):
         """Persist a completed query's result (atomic replace)."""
         path = self._entry_path(query)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -83,12 +88,19 @@ class ResultCache:
             "radius": float(radius),
             "seconds": float(seconds),
             "perf": perf,
+            "degraded": bool(degraded),
+            "fallback_chain": list(fallback_chain),
+            "fault": fault,
         }
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
                 json.dump(payload, f)
+            # Chaos hook (no-op without an active REPRO_FAULT_PLAN): the
+            # cache-kill fault exits here, leaving only the temp file — the
+            # exact crash window the atomic-replace scheme must absorb.
+            fault_cache_commit(tmp)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -96,3 +108,6 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # cache-garble fault: corrupt the committed shard post-rename, so
+        # the next get() must detect and self-heal (delete + miss).
+        fault_cache_committed(path)

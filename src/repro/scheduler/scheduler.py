@@ -38,9 +38,12 @@ __all__ = ["QueryOutcome", "CertScheduler", "merge_outcome_perf"]
 class QueryOutcome:
     """Result of one scheduled query.
 
-    ``source`` records how the radius was obtained: ``"cache"``,
-    ``"worker"``, ``"worker-retry"``, or ``"inprocess"`` (the serial path
-    and every fallback).
+    ``source`` records how the radius was obtained: ``"journal"`` (this
+    run's crash-recovery record), ``"cache"``, ``"worker"``,
+    ``"worker-retry"``, or ``"inprocess"`` (the serial path and every
+    fallback). ``degraded`` is True when any certification of
+    the query's binary search fell down the verifier's precision ladder;
+    ``fallback_chain`` / ``fault`` carry the first such event's detail.
     """
 
     query: object
@@ -48,6 +51,9 @@ class QueryOutcome:
     seconds: float
     perf: dict | None
     source: str
+    degraded: bool = False
+    fallback_chain: tuple = ()
+    fault: str = None
 
 
 def merge_outcome_perf(outcomes):
@@ -81,17 +87,27 @@ class CertScheduler:
     timeout:
         Per-query seconds to wait for a worker result before the
         retry/fallback ladder kicks in; ``None`` waits forever.
+    journal:
+        Optional :class:`~repro.scheduler.journal.RunJournal`. Valid
+        journal entries answer their queries without recomputation (they
+        take precedence over the cache — the journal is the crash-recovery
+        record of *this* run), and every newly computed outcome is
+        durably appended the moment it completes, so a killed run resumes
+        from exactly the queries it had not finished.
 
     After every :meth:`run`, ``last_stats`` holds the run's counters
-    (cache hits/misses, executed-by-source breakdown, retries, fallbacks).
+    (cache/journal hits, misses, executed-by-source breakdown, retries,
+    fallbacks, degraded queries).
     """
 
-    def __init__(self, workers=0, cache_dir=None, timeout=None):
+    def __init__(self, workers=0, cache_dir=None, timeout=None,
+                 journal=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = int(workers)
         self.timeout = timeout
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.journal = journal
         self.last_stats = None
 
     # ------------------------------------------------------------------ run
@@ -101,20 +117,40 @@ class CertScheduler:
         outcomes = [None] * len(queries)
         stats = {
             "queries": len(queries), "workers": self.workers,
-            "cache_hits": 0, "cache_misses": 0,
+            "cache_hits": 0, "cache_misses": 0, "journal_hits": 0,
             "executed": {"worker": 0, "worker-retry": 0, "inprocess": 0},
-            "retries": 0, "fallbacks": 0,
+            "retries": 0, "fallbacks": 0, "degraded": 0,
         }
 
+        journaled = self.journal.replay() if self.journal else {}
         miss_indices = []
         for index, query in enumerate(queries):
+            entry = journaled.get(query.key())
+            if entry is not None:
+                stats["journal_hits"] += 1
+                outcomes[index] = QueryOutcome(
+                    query=query, radius=float(entry["radius"]),
+                    seconds=float(entry["seconds"]),
+                    perf=entry.get("perf"), source="journal",
+                    degraded=bool(entry.get("degraded", False)),
+                    fallback_chain=tuple(entry.get("fallback_chain") or ()),
+                    fault=entry.get("fault"))
+                if outcomes[index].degraded:
+                    stats["degraded"] += 1
+                continue
             payload = self.cache.get(query) if self.cache else None
             if payload is not None:
                 stats["cache_hits"] += 1
                 outcomes[index] = QueryOutcome(
                     query=query, radius=float(payload["radius"]),
                     seconds=float(payload["seconds"]),
-                    perf=payload.get("perf"), source="cache")
+                    perf=payload.get("perf"), source="cache",
+                    degraded=bool(payload.get("degraded", False)),
+                    fallback_chain=tuple(payload.get("fallback_chain") or ()),
+                    fault=payload.get("fault"))
+                if outcomes[index].degraded:
+                    stats["degraded"] += 1
+                self._journal_append(outcomes[index])
             else:
                 stats["cache_misses"] += 1
                 miss_indices.append(index)
@@ -129,21 +165,37 @@ class CertScheduler:
                     outcomes[index] = self._run_inprocess(model,
                                                           queries[index],
                                                           stats)
+                    self._journal_append(outcomes[index])
+            for index in miss_indices:
+                if outcomes[index].degraded:
+                    stats["degraded"] += 1
             if self.cache:
                 for index in miss_indices:
                     outcome = outcomes[index]
                     self.cache.put(outcome.query, outcome.radius,
-                                   outcome.seconds, outcome.perf)
+                                   outcome.seconds, outcome.perf,
+                                   degraded=outcome.degraded,
+                                   fallback_chain=outcome.fallback_chain,
+                                   fault=outcome.fault)
 
         self.last_stats = stats
         return outcomes
 
+    def _journal_append(self, outcome):
+        """Durably record one completed outcome in the run journal."""
+        if self.journal is not None and outcome.source != "journal":
+            self.journal.append(outcome.query, outcome.radius,
+                                outcome.seconds, outcome.perf,
+                                outcome.source, degraded=outcome.degraded,
+                                fallback_chain=outcome.fallback_chain,
+                                fault=outcome.fault)
+
     # ------------------------------------------------------------ execution
     def _run_inprocess(self, model, query, stats):
-        radius, seconds, perf = execute_query(model, query)
+        radius, seconds, perf, meta = execute_query(model, query)
         stats["executed"]["inprocess"] += 1
         return QueryOutcome(query=query, radius=radius, seconds=seconds,
-                            perf=perf, source="inprocess")
+                            perf=perf, source="inprocess", **meta)
 
     def _run_pool(self, model, queries, miss_indices, outcomes, stats):
         """Fan misses across a fork pool; never raises — falls back."""
@@ -156,6 +208,7 @@ class CertScheduler:
             for index in miss_indices:
                 outcomes[index] = self._run_inprocess(model, queries[index],
                                                       stats)
+                self._journal_append(outcomes[index])
             return
         try:
             handles = [pool.apply_async(_pool_run, (queries[index],))
@@ -163,6 +216,7 @@ class CertScheduler:
             for index, handle in zip(miss_indices, handles):
                 outcomes[index] = self._collect(pool, model, queries[index],
                                                 handle, stats)
+                self._journal_append(outcomes[index])
         finally:
             pool.terminate()
             pool.join()
@@ -170,19 +224,20 @@ class CertScheduler:
     def _collect(self, pool, model, query, handle, stats):
         """One result, through the timeout → retry → in-process ladder."""
         try:
-            radius, seconds, perf = handle.get(self.timeout)
+            radius, seconds, perf, meta = handle.get(self.timeout)
             stats["executed"]["worker"] += 1
             return QueryOutcome(query=query, radius=radius,
-                                seconds=seconds, perf=perf, source="worker")
+                                seconds=seconds, perf=perf, source="worker",
+                                **meta)
         except Exception:
             stats["retries"] += 1
         try:
             retry = pool.apply_async(_pool_run, (query,))
-            radius, seconds, perf = retry.get(self.timeout)
+            radius, seconds, perf, meta = retry.get(self.timeout)
             stats["executed"]["worker-retry"] += 1
             return QueryOutcome(query=query, radius=radius,
                                 seconds=seconds, perf=perf,
-                                source="worker-retry")
+                                source="worker-retry", **meta)
         except Exception:
             stats["fallbacks"] += 1
             return self._run_inprocess(model, query, stats)

@@ -12,14 +12,17 @@ Pool workers receive the model once, through the fork-context pool
 initializer (fork inherits the parent's memory, so no per-query model
 pickling), and reset the process-global :data:`repro.perf.PERF` on start
 so each worker's snapshots cover only its own queries. Every executed
-query returns ``(radius, seconds, perf_snapshot)``; the parent merges the
-snapshots via :meth:`PerfRecorder.merge` in deterministic key order.
+query returns ``(radius, seconds, perf_snapshot, meta)`` where ``meta``
+records whether any certification in the binary search degraded down the
+verifier's fallback ladder; the parent merges the snapshots via
+:meth:`PerfRecorder.merge` in deterministic key order.
 """
 
 from __future__ import annotations
 
 import time
 
+from ..faults import fault_worker_entry
 from ..perf import PERF
 
 __all__ = ["execute_query"]
@@ -37,28 +40,37 @@ def _build_verifier(model, query):
 
 
 def execute_query(model, query):
-    """Run one certification query; returns (radius, seconds, perf).
+    """Run one certification query; returns (radius, seconds, perf, meta).
 
     ``perf`` is the :meth:`repro.perf.PerfRecorder.snapshot` covering
-    exactly this query's propagations.
+    exactly this query's propagations. ``meta`` reports resilience state:
+    ``degraded`` is True when any certification of the binary search fell
+    down the verifier's fallback ladder, ``fallback_chain`` is the first
+    degraded call's rung sequence and ``fault`` its originating failure.
     """
     from ..verify.radius import binary_search_radius
 
     start = time.perf_counter()
     token_ids = list(query.sentence)
+    meta = {"degraded": False, "fallback_chain": (), "fault": None}
     with PERF.collecting() as recorder:
         verifier = _build_verifier(model, query)
         true_label = model.predict(token_ids)
 
         def certify(radius):
-            return bool(verifier.certify_word_perturbation(
+            result = verifier.certify_word_perturbation(
                 token_ids, query.position, radius, query.p,
-                true_label=true_label))
+                true_label=true_label)
+            if getattr(result, "degraded", False) and not meta["degraded"]:
+                meta["degraded"] = True
+                meta["fallback_chain"] = tuple(result.fallback_chain)
+                meta["fault"] = result.fault
+            return bool(result)
 
         radius = binary_search_radius(certify, initial=query.initial,
                                       n_iterations=query.n_iterations)
         perf = recorder.snapshot()
-    return radius, time.perf_counter() - start, perf
+    return radius, time.perf_counter() - start, perf, meta
 
 
 def _pool_init(model):
@@ -70,4 +82,9 @@ def _pool_init(model):
 
 def _pool_run(query):
     """Pool task: execute one query against the worker's model."""
+    # Chaos hook (no-op without an active REPRO_FAULT_PLAN): lets the fault
+    # harness kill or stall this worker at query start, exercising the
+    # parent's timeout -> retry -> in-process ladder. Deliberately only on
+    # the pool path — an injected kill must never take down the parent.
+    fault_worker_entry()
     return execute_query(_WORKER_MODEL, query)

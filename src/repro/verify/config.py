@@ -37,6 +37,20 @@ class VerifierConfig:
     coeff_tol:
         Fresh-symbol magnitudes at or below this are dropped (pure zeros by
         default).
+    guards:
+        Check zonotope invariants (finite center/coefficients, symbol
+        budget) after every propagation stage; violations raise typed
+        errors instead of letting NaN/Inf flow downstream. Guards only
+        observe — results are bitwise identical to an unguarded run.
+    symbol_budget:
+        Hard backstop on the eps-symbol count of any intermediate zonotope
+        (``SymbolBudgetExceeded`` on violation); ``None`` disables. Unlike
+        ``noise_symbol_cap`` this never reduces — it aborts runaway growth.
+    degradation_ladder:
+        On a guard trip, retry the query down the sound-but-looser ladder
+        (precise dot-product -> fast dot-product -> pure interval
+        propagation) instead of raising; the result is flagged
+        ``degraded`` with its ``fallback_chain``.
     """
 
     dot_product_variant: str = "fast"
@@ -47,6 +61,9 @@ class VerifierConfig:
     propagate_rewrites: bool = True
     coeff_tol: float = 0.0
     reduction_strategy: str = "mass"
+    guards: bool = True
+    symbol_budget: int = None
+    degradation_ladder: bool = True
 
     def __post_init__(self):
         if self.dot_product_variant not in ("fast", "precise", "combined"):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..zonotope import MultiNormZonotope, relu
+from .guards import certified_from_margin
 from .radius import binary_search_radius
 
 __all__ = ["propagate_mlp", "MlpZonotopeVerifier"]
@@ -41,7 +42,7 @@ class MlpZonotopeVerifier:
             if other == true_label:
                 continue
             margin = (logits[true_label] - logits[other]).bounds()[0]
-            if not (np.isfinite(margin) and margin > 0):
+            if not certified_from_margin(margin):
                 return False
         return True
 

@@ -25,13 +25,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults import fault_zonotope
 from ..perf import PERF
 from ..zonotope import (
-    DotProductConfig, apply_eps_rewrites,
+    DotProductConfig, apply_eps_rewrites, propagation_errstate,
     reduce_noise_symbols, relu, tanh, rsqrt, softmax as zonotope_softmax,
     zonotope_matmul, zonotope_multiply,
 )
 from .config import VerifierConfig
+from .guards import check_zonotope
 
 __all__ = ["propagate_linear", "propagate_layer_norm", "propagate_attention",
            "propagate_feed_forward", "propagate_transformer_layer",
@@ -147,16 +149,25 @@ def propagate_feed_forward(z, ffn):
 
 
 def propagate_transformer_layer(z, layer, config, dot_config):
-    """One encoder layer: attention and FFN with residual + norm."""
+    """One encoder layer: attention and FFN with residual + norm.
+
+    Each stage output passes through the active propagation guard
+    (:func:`repro.verify.guards.check_zonotope`) so a numerical blowup is
+    caught at the abstract transformer that produced it, not layers later.
+    """
     with PERF.stage("attention"):
         attended, z = propagate_attention(z, layer.attention, config,
                                           dot_config)
+        check_zonotope(attended, "attention")
     with PERF.stage("layer_norm"):
         z = propagate_layer_norm(z + attended, layer.norm1, dot_config)
+        check_zonotope(z, "layer_norm1")
     with PERF.stage("ffn"):
         ffn_out = propagate_feed_forward(z, layer.ffn)
+        check_zonotope(ffn_out, "ffn")
     with PERF.stage("layer_norm"):
         z = propagate_layer_norm(z + ffn_out, layer.norm2, dot_config)
+        check_zonotope(z, "layer_norm2")
     return z
 
 
@@ -174,20 +185,28 @@ def propagate_classifier(model, input_zonotope, config=None):
         :class:`VerifierConfig`; defaults to DeepT-Fast settings.
     """
     config = config or VerifierConfig()
-    z = input_zonotope
     n_layers = len(model.layers)
-    for index, layer in enumerate(model.layers):
-        cap = config.cap_for_layer(index, n_layers)
-        if cap is not None:
-            with PERF.stage("reduction"):
-                z = reduce_noise_symbols(z, cap, tol=config.coeff_tol,
-                                         strategy=config.reduction_strategy)
-        dot_config = DotProductConfig(
-            variant=config.variant_for_layer(index, n_layers),
-            order=config.dual_norm_order, tol=config.coeff_tol)
-        z = propagate_transformer_layer(z, layer, config, dot_config)
-        PERF.gauge_max("peak_eps_rows", z.n_eps)
-    with PERF.stage("classifier_head"):
-        pooled = tanh(propagate_linear(z[0], model.pool))
-        out = propagate_linear(pooled, model.classifier)
+    with propagation_errstate():
+        z = input_zonotope
+        for index, layer in enumerate(model.layers):
+            # Deterministic fault-injection point (no-op without an active
+            # REPRO_FAULT_PLAN): corrupts the zonotope entering layer k so
+            # the guard checkpoints downstream are exercised end to end.
+            z = fault_zonotope(z, index)
+            cap = config.cap_for_layer(index, n_layers)
+            if cap is not None:
+                with PERF.stage("reduction"):
+                    z = reduce_noise_symbols(
+                        z, cap, tol=config.coeff_tol,
+                        strategy=config.reduction_strategy)
+                    check_zonotope(z, "reduction")
+            dot_config = DotProductConfig(
+                variant=config.variant_for_layer(index, n_layers),
+                order=config.dual_norm_order, tol=config.coeff_tol)
+            z = propagate_transformer_layer(z, layer, config, dot_config)
+            PERF.gauge_max("peak_eps_rows", z.n_eps)
+        with PERF.stage("classifier_head"):
+            pooled = tanh(propagate_linear(z[0], model.pool))
+            out = propagate_linear(pooled, model.classifier)
+            check_zonotope(out, "classifier_head")
     return out

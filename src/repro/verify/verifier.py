@@ -4,21 +4,43 @@ Certification (Section 3.2): propagate the input region through the network
 and check that the lower bound of ``y_true - y_false`` is positive. Binary
 classification compares the two logits; the multi-class case (the vision
 transformer) requires the margin against *every* other class.
+
+Resilience: the propagation runs under a :class:`~repro.verify.guards`
+invariant guard, and a guard trip (numerical blowup, symbol-budget
+violation) does not crash the query — the verifier retries down a
+*sound-but-looser* degradation ladder:
+
+    precise dot-product  ->  fast dot-product  ->  pure interval (IBP)
+
+Every rung is itself a sound verifier, so a degraded answer can never flip
+an uncertifiable query to ``certified=True``; looser rungs only lose
+precision. Degradation is reported honestly: the result carries
+``degraded`` / ``fallback_chain`` / ``fault`` and
+:data:`repro.perf.PERF` counts ``degradations``. On healthy inputs the
+ladder is invisible — the primary rung runs exactly as before, bitwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..perf import PERF
 from .config import VerifierConfig
+from .guards import (CertificationFault, PropagationGuard,
+                     certified_from_margin, guard_scope)
 from .propagation import propagate_classifier
 from .regions import (word_perturbation_region, synonym_attack_region,
                       image_perturbation_region)
 
 __all__ = ["CertificationResult", "DeepTVerifier"]
+
+# Failures the degradation ladder recovers from: typed guard trips plus the
+# numerical-precondition errors a corrupted zonotope can surface before a
+# guard checkpoint sees it (e.g. the reciprocal's positivity check).
+_RECOVERABLE = (CertificationFault, FloatingPointError, ZeroDivisionError,
+                OverflowError, ValueError)
 
 
 @dataclass(frozen=True)
@@ -28,11 +50,21 @@ class CertificationResult:
     ``margin_lower`` is the certified lower bound of the worst
     ``y_true - y_other`` margin; certification succeeds iff it is positive
     (non-finite bounds — overflow in extreme regions — count as failure).
+
+    ``degraded`` is True when the answer came from a looser rung of the
+    fallback ladder after a guard trip; ``fallback_chain`` lists every rung
+    attempted in order (ending with the one that answered, or with the last
+    failed rung when all failed) and ``fault`` describes the first trip.
+    Sound either way: looser rungs over-approximate more, so a degraded run
+    can lose certifications but never invent one.
     """
 
     certified: bool
     margin_lower: float
     true_label: int
+    degraded: bool = False
+    fallback_chain: tuple = ()
+    fault: str = None
 
     def __bool__(self):
         return self.certified
@@ -61,10 +93,56 @@ class DeepTVerifier:
 
         Stage timings, peak symbol counts and materialization counters are
         reported into :data:`repro.perf.PERF` when recording is enabled
-        (``PERF.collecting()``); see ``PERF.snapshot()``.
+        (``PERF.collecting()``); see ``PERF.snapshot()``. On a guard trip
+        the query is retried down the degradation ladder (see the module
+        docstring) and the result is flagged ``degraded``.
         """
-        with PERF.stage("propagation"):
-            logits = propagate_classifier(self.model, region, self.config)
+        chain = []
+        fault = None
+        for rung_name, rung_config in self._ladder(self.config):
+            chain.append(rung_name)
+            try:
+                if rung_config is None:
+                    result = self._certify_region_ibp(region, true_label)
+                else:
+                    result = self._certify_region_once(region, true_label,
+                                                       rung_config)
+            except _RECOVERABLE as error:
+                if fault is None:
+                    fault = f"{type(error).__name__}: {error}"
+                if not self.config.degradation_ladder:
+                    raise
+                continue
+            if len(chain) == 1:
+                return result
+            PERF.count("degradations")
+            PERF.count(f"degraded_to_{rung_name}")
+            return replace(result, degraded=True,
+                           fallback_chain=tuple(chain), fault=fault)
+        # Every rung failed: sound, honest "could not certify".
+        PERF.count("degradations")
+        PERF.count("degraded_to_none")
+        return CertificationResult(certified=False, margin_lower=-np.inf,
+                                   true_label=true_label, degraded=True,
+                                   fallback_chain=tuple(chain), fault=fault)
+
+    @staticmethod
+    def _ladder(config):
+        """(name, config) rungs: primary first, then strictly looser ones."""
+        rungs = [(config.dot_product_variant, config)]
+        if config.degradation_ladder:
+            if config.dot_product_variant in ("precise", "combined"):
+                rungs.append(("fast",
+                              replace(config, dot_product_variant="fast")))
+            rungs.append(("ibp", None))
+        return rungs
+
+    def _certify_region_once(self, region, true_label, config):
+        """One guarded zonotope propagation + margin check (no retry)."""
+        guard = PropagationGuard(symbol_budget=config.symbol_budget) \
+            if config.guards else None
+        with PERF.stage("propagation"), guard_scope(guard):
+            logits = propagate_classifier(self.model, region, config)
         with PERF.stage("margin_check"):
             lower, upper = logits.bounds()
             margins = []
@@ -74,9 +152,31 @@ class DeepTVerifier:
                 margin = (logits[true_label] - logits[other]).bounds()[0]
                 margins.append(float(margin))
         worst = min(margins)
-        certified = bool(np.isfinite(worst) and worst > 0)
-        return CertificationResult(certified=certified, margin_lower=worst,
-                                   true_label=true_label)
+        return CertificationResult(
+            certified=certified_from_margin(worst), margin_lower=worst,
+            true_label=true_label)
+
+    def _certify_region_ibp(self, region, true_label):
+        """The ladder's floor: pure interval propagation of the region.
+
+        Interval arithmetic has no noise symbols to blow up and sanitizes
+        inf/NaN per node, so this rung answers even where the zonotope
+        engine cannot. It is the loosest sound verifier for the same
+        region, reusing the region's concrete interval bounds as the graph
+        input box.
+        """
+        from ..baselines.graph import (build_transformer_graph,
+                                       interval_propagate)
+        graph, _, logits = build_transformer_graph(self.model,
+                                                   region.shape[0])
+        interval_propagate(graph, *region.bounds())
+        lower = logits.lower.reshape(-1)
+        upper = logits.upper.reshape(-1)
+        worst = min(float(lower[true_label] - upper[other])
+                    for other in range(len(lower)) if other != true_label)
+        return CertificationResult(
+            certified=certified_from_margin(worst), margin_lower=worst,
+            true_label=true_label)
 
     # -------------------------------------------------------------- T1 / T2
     def certify_word_perturbation(self, token_ids, position, radius, p,

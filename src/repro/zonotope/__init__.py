@@ -1,6 +1,8 @@
 """The Multi-norm Zonotope abstract domain (the paper's contribution)."""
 
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
+from .numeric import (PROPAGATION_ERRSTATE, propagation_errstate,
+                      under_propagation_errstate)
 from .storage import (EpsBuffer, EpsTail, dense_engine, fast_path_enabled,
                       set_fast_path)
 from . import elementwise
@@ -16,6 +18,8 @@ from .reduction import (reduce_noise_symbols, symbol_scores,
 
 __all__ = [
     "MultiNormZonotope", "dual_exponent", "norm_along_axis0",
+    "PROPAGATION_ERRSTATE", "propagation_errstate",
+    "under_propagation_errstate",
     "EpsBuffer", "EpsTail", "dense_engine", "fast_path_enabled",
     "set_fast_path",
     "elementwise", "relu", "tanh", "exp", "reciprocal", "rsqrt",

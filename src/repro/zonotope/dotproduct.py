@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
+from .numeric import under_propagation_errstate
 from .storage import fast_path_enabled
 
 __all__ = ["zonotope_matmul", "zonotope_multiply", "DotProductConfig"]
@@ -273,6 +274,7 @@ def _matmul_fast_path(x, y, config):
     return out.append_fresh_eps(bound, tol=config.tol)
 
 
+@under_propagation_errstate
 def zonotope_matmul(x, y, config=None):
     """Abstract matrix product of two zonotopes: (n, k) @ (k, m) -> (n, m).
 
@@ -322,6 +324,7 @@ def zonotope_matmul(x, y, config=None):
     return out.append_fresh_eps(0.5 * (upper - lower), tol=config.tol)
 
 
+@under_propagation_errstate
 def zonotope_multiply(x, y, config=None):
     """Elementwise product of two zonotopes of the same variable shape.
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .numeric import under_propagation_errstate
+
 __all__ = ["relu", "tanh", "exp", "reciprocal", "rsqrt", "sigmoid",
            "gelu", "affine_response"]
 
@@ -47,6 +49,7 @@ def affine_response(x, lam, mu, beta_new, tol=0.0):
     return x.affine_image(lam, mu).append_fresh_eps(beta_new, tol=tol)
 
 
+@under_propagation_errstate
 def relu(x):
     """Minimal-area ReLU transformer (Section 4.3, Eq. 2)."""
     lower, upper = x.bounds()
@@ -70,6 +73,7 @@ def relu(x):
     return affine_response(x, lam, mu, beta)
 
 
+@under_propagation_errstate
 def tanh(x):
     """Tanh transformer (Section 4.4): secant-slope parallelogram."""
     lower, upper = x.bounds()
@@ -85,6 +89,7 @@ def tanh(x):
     return affine_response(x, lam, mu, beta)
 
 
+@under_propagation_errstate
 def exp(x):
     """Exponential transformer (Section 4.5).
 
@@ -96,17 +101,16 @@ def exp(x):
     width = upper - lower
     point = width <= _POINT_TOL
     safe_width = np.where(point, 1.0, width)
-    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-        exp_l = np.exp(lower)
-        exp_u = np.exp(upper)
-        chord = np.where(point, 1.0, (exp_u - exp_l) / safe_width)
-        t_crit = np.log(chord)
-        t_crit2 = lower + 1.0 - _EPS_SHIFT
-        t_opt = np.minimum(t_crit, t_crit2)
-        lam = np.exp(t_opt)
-        exp_t = lam  # e^{t_opt}
-        mu = 0.5 * (exp_t - lam * t_opt + exp_u - lam * upper)
-        beta = 0.5 * (lam * t_opt - exp_t + exp_u - lam * upper)
+    exp_l = np.exp(lower)
+    exp_u = np.exp(upper)
+    chord = np.where(point, 1.0, (exp_u - exp_l) / safe_width)
+    t_crit = np.log(chord)
+    t_crit2 = lower + 1.0 - _EPS_SHIFT
+    t_opt = np.minimum(t_crit, t_crit2)
+    lam = np.exp(t_opt)
+    exp_t = lam  # e^{t_opt}
+    mu = 0.5 * (exp_t - lam * t_opt + exp_u - lam * upper)
+    beta = 0.5 * (lam * t_opt - exp_t + exp_u - lam * upper)
     lam = np.where(point, 0.0, lam)
     mu = np.where(point, np.exp(x.center), mu)
     beta = np.where(point, 0.0, beta)
@@ -140,6 +144,7 @@ def _convex_decreasing_response(x, f, fprime, t_crit, t_min, lower, upper):
     return affine_response(x, lam, mu, beta)
 
 
+@under_propagation_errstate
 def reciprocal(x):
     """Reciprocal transformer for positive inputs (Section 4.6).
 
@@ -158,6 +163,7 @@ def reciprocal(x):
         lower, upper)
 
 
+@under_propagation_errstate
 def rsqrt(x, shift=0.0, assume_nonnegative=False):
     """Transformer for ``1/sqrt(x + shift)`` on positive inputs.
 
@@ -198,6 +204,7 @@ def rsqrt(x, shift=0.0, assume_nonnegative=False):
                                        lower, upper)
 
 
+@under_propagation_errstate
 def sigmoid(x):
     """Sigmoid transformer (s-shaped, parallel-slope band).
 
@@ -223,6 +230,7 @@ def sigmoid(x):
     return affine_response(x, lam, mu, beta)
 
 
+@under_propagation_errstate
 def gelu(x, n_grid=64):
     """GELU transformer via a sampled parallel-slope band.
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..perf import PERF
+from .numeric import propagation_errstate
 from .storage import EpsBuffer, EpsTail, fast_path_enabled
 
 __all__ = ["MultiNormZonotope", "dual_exponent", "norm_along_axis0"]
@@ -222,8 +223,10 @@ class MultiNormZonotope:
         mask = radius.reshape(-1) > 0
         flat_idx = np.flatnonzero(mask)
         coeffs = np.zeros((len(flat_idx),) + center.shape)
-        coeffs.reshape(len(flat_idx), -1)[np.arange(len(flat_idx)), flat_idx] = \
-            radius.reshape(-1)[flat_idx]
+        if len(flat_idx):  # an all-zero box is a point (no symbols)
+            coeffs.reshape(len(flat_idx), -1)[
+                np.arange(len(flat_idx)), flat_idx] = \
+                radius.reshape(-1)[flat_idx]
         return cls(center, eps=coeffs, p=np.inf)
 
     @classmethod
@@ -242,8 +245,8 @@ class MultiNormZonotope:
         exponentials of enormous regions) would yield NaN via inf - inf;
         those entries degrade to the vacuous-but-sound bounds -inf/+inf.
         """
-        spread = norm_along_axis0(self.phi, self.q) + self._eps_l1()
-        with np.errstate(invalid="ignore"):
+        with propagation_errstate():
+            spread = norm_along_axis0(self.phi, self.q) + self._eps_l1()
             lower = self.center - spread
             upper = self.center + spread
         if not np.all(np.isfinite(lower)) or not np.all(np.isfinite(upper)):

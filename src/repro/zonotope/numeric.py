@@ -1,0 +1,47 @@
+"""The zonotope engine's single floating-point error policy.
+
+Abstract transformers deliberately evaluate expressions that overflow or
+produce NaN on extreme regions — exponentials of huge intervals, ``inf -
+inf`` in interval arithmetic, ``0 * inf`` in dot-product cascades. Those
+cases are *handled*: the softmax falls back to the sound [0, 1] box,
+:meth:`MultiNormZonotope.bounds` degrades NaN entries to the vacuous
+``-inf/+inf`` interval, and the propagation guard turns anything that
+escapes into a typed error. What must not happen is numpy announcing each
+handled case with a ``RuntimeWarning`` — a warning the caller can neither
+act on nor distinguish from a genuine bug.
+
+Every propagation entry point therefore runs under one shared policy,
+:data:`PROPAGATION_ERRSTATE`, instead of ad-hoc per-call-site ``errstate``
+blocks: overflow, invalid and divide are silenced *inside* the engine
+(where they are expected and handled) and the test suite turns any numpy
+RuntimeWarning that still leaks out of ``repro.zonotope`` into an error
+(see ``[tool.pytest.ini_options] filterwarnings``), so an unhandled
+numerical path can never hide behind a warning again.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["PROPAGATION_ERRSTATE", "propagation_errstate",
+           "under_propagation_errstate"]
+
+PROPAGATION_ERRSTATE = {"over": "ignore", "invalid": "ignore",
+                        "divide": "ignore"}
+"""The one floating-point error policy of the abstract-transformer engine."""
+
+
+def propagation_errstate():
+    """``np.errstate`` context applying the engine policy."""
+    return np.errstate(**PROPAGATION_ERRSTATE)
+
+
+def under_propagation_errstate(fn):
+    """Decorator: run ``fn`` under the engine's errstate policy."""
+    @functools.wraps(fn)
+    def wrapped(*args, **kwargs):
+        with np.errstate(**PROPAGATION_ERRSTATE):
+            return fn(*args, **kwargs)
+    return wrapped

@@ -27,6 +27,7 @@ import numpy as np
 
 from .multinorm import MultiNormZonotope
 from .elementwise import exp, reciprocal
+from .numeric import propagation_errstate
 
 __all__ = ["softmax"]
 
@@ -51,7 +52,7 @@ def softmax(scores, refine_sum=False):
     # d[i, j, j'] = scores[i, j'] - scores[i, j]; the j' = j diagonal is an
     # exact zero (all coefficients cancel), so exp maps it exactly to 1.
     diffs = scores.expand_dims(1) - scores.expand_dims(2)
-    with np.errstate(over="ignore", invalid="ignore"):
+    with propagation_errstate():
         exps = exp(diffs)
         denom = exps.sum_vars(axis=2)
         lower, _ = denom.bounds()

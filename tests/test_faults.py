@@ -1,0 +1,202 @@
+"""Chaos suite: deterministic fault injection against the certification
+pipeline. Every fault must still yield a result for every query, and no
+fault may ever flip an uncertified query to certified (soundness under
+failure). Seeded via REPRO_FUZZ_SEED-style plan seeds for reproducibility."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.faults import (FaultInjector, FaultPlan, KILL_EXIT_CODE,
+                          active_injector, fault_zonotope,
+                          install_fault_plan, reset_fault_state)
+from repro.scheduler import CertScheduler, ResultCache, expand_word_queries
+from repro.verify import DeepTVerifier, FAST, word_perturbation_region
+from repro.zonotope import MultiNormZonotope
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+
+
+@pytest.fixture(scope="module")
+def region(tiny_model, tiny_sentence):
+    return word_perturbation_region(tiny_model, tiny_sentence, 1, 0.01, 2.0)
+
+
+@pytest.fixture(scope="module")
+def true_label(tiny_model, tiny_sentence):
+    return tiny_model.predict(tiny_sentence)
+
+
+@pytest.fixture(scope="module")
+def clean_result(tiny_model, region, true_label):
+    verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+    return verifier.certify_region(region, true_label)
+
+
+class TestFaultPlan:
+    def test_env_roundtrip(self):
+        plan = FaultPlan(kind="nan", layer=1, seed=SEED, max_faults=2)
+        restored = FaultPlan.from_env({"REPRO_FAULT_PLAN": plan.to_env()})
+        assert restored == plan
+
+    def test_no_env_means_no_plan(self):
+        assert FaultPlan.from_env({}) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(kind="gremlins")
+
+    def test_hooks_are_noops_without_plan(self):
+        reset_fault_state()
+        z = MultiNormZonotope(np.ones((2, 2)))
+        assert fault_zonotope(z, 0) is z
+
+    def test_install_scope_restores(self):
+        with install_fault_plan(FaultPlan(kind="nan", seed=SEED)):
+            assert active_injector() is not None
+        z = MultiNormZonotope(np.ones((2, 2)))
+        assert fault_zonotope(z, 0) is z
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_corruption(self):
+        z = MultiNormZonotope(np.arange(12.0).reshape(3, 4) + 1.0)
+        a = FaultInjector(FaultPlan(kind="nan", seed=SEED))
+        b = FaultInjector(FaultPlan(kind="nan", seed=SEED))
+        za, zb = a.corrupt_zonotope(z, 0), b.corrupt_zonotope(z, 0)
+        assert np.isnan(za.center).sum() == 1
+        assert np.array_equal(np.isnan(za.center), np.isnan(zb.center))
+
+    def test_wrong_layer_untouched(self):
+        z = MultiNormZonotope(np.ones((2, 2)))
+        injector = FaultInjector(FaultPlan(kind="inf", layer=3, seed=SEED))
+        assert injector.corrupt_zonotope(z, 0) is z
+
+    def test_max_faults_budget(self):
+        z = MultiNormZonotope(np.ones((2, 2)))
+        injector = FaultInjector(FaultPlan(kind="nan", seed=SEED,
+                                           max_faults=1))
+        first = injector.corrupt_zonotope(z, 0)
+        assert np.isnan(first.center).any()
+        assert injector.corrupt_zonotope(z, 0) is z
+
+    def test_probability_zero_never_fires(self):
+        z = MultiNormZonotope(np.ones((2, 2)))
+        injector = FaultInjector(FaultPlan(kind="nan", seed=SEED,
+                                           probability=0.0))
+        for _ in range(10):
+            assert injector.corrupt_zonotope(z, 0) is z
+
+
+class TestPropagationChaos:
+    """Corrupted zonotopes mid-propagation: always a result, never an
+    invented certification."""
+
+    @pytest.mark.parametrize("kind", ["nan", "inf", "overscale"])
+    @pytest.mark.parametrize("layer", [0, 1])
+    def test_fault_degrades_soundly(self, tiny_model, region, true_label,
+                                    clean_result, kind, layer):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        plan = FaultPlan(kind=kind, layer=layer, seed=SEED)
+        with install_fault_plan(plan):
+            result = verifier.certify_region(region, true_label)
+        assert result is not None  # a result for every query, no raise
+        assert result.degraded
+        assert result.fallback_chain[-1] == "ibp"
+        assert result.fault is not None
+        # Soundness under failure: a fault can lose a certification but
+        # can never flip uncertified -> certified vs the clean baseline.
+        assert not (result.certified and not clean_result.certified)
+        assert result.margin_lower <= clean_result.margin_lower
+
+    def test_fault_without_ladder_raises(self, tiny_model, region,
+                                         true_label):
+        verifier = DeepTVerifier(tiny_model, FAST(
+            noise_symbol_cap=64, degradation_ladder=False))
+        with install_fault_plan(FaultPlan(kind="nan", layer=0, seed=SEED)):
+            with pytest.raises(Exception):
+                verifier.certify_region(region, true_label)
+
+
+class TestSchedulerChaos:
+    """Worker kills and stalls: the parent's timeout -> retry -> in-process
+    ladder must still produce every radius, bitwise equal to serial."""
+
+    @pytest.fixture(scope="class")
+    def queries(self, tiny_model, tiny_sentence):
+        return expand_word_queries(
+            tiny_model, [tiny_sentence], 2.0, verifier="deept",
+            config=FAST(noise_symbol_cap=64), n_positions=2,
+            n_iterations=3)
+
+    def test_killed_workers_fall_back_to_inprocess(self, tiny_model,
+                                                   queries):
+        serial = CertScheduler(workers=0).run(tiny_model, queries)
+        scheduler = CertScheduler(workers=2, timeout=5.0)
+        with install_fault_plan(FaultPlan(kind="kill-worker", seed=SEED)):
+            chaotic = scheduler.run(tiny_model, queries)
+        assert [o.radius for o in chaotic] == [o.radius for o in serial]
+        stats = scheduler.last_stats
+        assert stats["retries"] >= 1
+        assert stats["fallbacks"] >= 1
+        assert all(o.source == "inprocess" for o in chaotic)
+
+
+class TestCacheChaos:
+    def _query(self):
+        from repro.scheduler import CertQuery
+        return CertQuery(verifier="deept", model_hash="cafe",
+                         corpus_fingerprint="f00d", sentence=(1, 2, 3),
+                         position=1, p=2.0, config=())
+
+    def test_garbled_shard_recovers_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        query = self._query()
+        with install_fault_plan(FaultPlan(kind="cache-garble", seed=SEED)):
+            cache.put(query, 0.25, 1.0, None)
+        with pytest.warns(UserWarning, match="corrupt result cache"):
+            assert cache.get(query) is None
+        # Recomputation heals the entry.
+        cache.put(query, 0.25, 1.0, None)
+        assert cache.get(query)["radius"] == 0.25
+
+    def test_writer_killed_mid_commit_leaves_cache_consistent(self,
+                                                              tmp_path):
+        """Kill the writer between shard-temp creation and rename: the
+        committed cache must be untouched and the lost entry recomputable."""
+        script = (
+            "import os\n"
+            "from repro.scheduler import CertQuery, ResultCache\n"
+            "cache = ResultCache(os.environ['CACHE_DIR'])\n"
+            "q = CertQuery(verifier='deept', model_hash='cafe',\n"
+            "              corpus_fingerprint='f00d', sentence=(1, 2, 3),\n"
+            "              position=1, p=2.0, config=())\n"
+            "cache.put(q, 0.25, 1.0, None)\n"
+            "raise SystemExit(99)  # unreachable: the fault kills us\n"
+        )
+        env = dict(os.environ,
+                   CACHE_DIR=str(tmp_path),
+                   REPRO_FAULT_PLAN=json.dumps({"kind": "cache-kill"}),
+                   PYTHONPATH=os.pathsep.join(
+                       [os.path.join(os.path.dirname(__file__), os.pardir,
+                                     "src")]
+                       + ([os.environ["PYTHONPATH"]]
+                          if os.environ.get("PYTHONPATH") else [])))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == KILL_EXIT_CODE, proc.stderr
+
+        cache = ResultCache(str(tmp_path))
+        query = self._query()
+        # Nothing was committed: a clean miss, no corrupt JSON, no warning.
+        assert cache.get(query) is None
+        committed = [f for shard in tmp_path.iterdir() if shard.is_dir()
+                     for f in shard.iterdir() if f.suffix == ".json"]
+        assert committed == []
+        # The exact lost entry is recomputed and committed normally.
+        cache.put(query, 0.25, 1.0, None)
+        assert cache.get(query)["radius"] == 0.25
