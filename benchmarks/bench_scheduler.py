@@ -65,7 +65,7 @@ def timed_run(scheduler, model, queries):
 
 
 def run_benchmark(workers=4, n_sentences=1, n_positions=4,
-                  norms=("l1", "l2", "linf")):
+                  norms=("l1", "l2", "linf"), assert_speedup=True):
     model, dataset, accuracy = get_transformer("sst-small", n_layers=3)
     sentences = evaluation_sentences(model, dataset, n_sentences)
     queries = build_workload(model, sentences, norms, n_positions)
@@ -96,6 +96,20 @@ def run_benchmark(workers=4, n_sentences=1, n_positions=4,
     assert recomputed == 0, f"warm run recomputed {recomputed} queries"
     assert warm_stats["cache_hits"] == len(queries)
 
+    # The parallel-speedup floor only holds where parallelism is possible:
+    # on a single-CPU host fork workers time-slice one core and the fork +
+    # IPC overhead makes the "parallel" run legitimately slower, so the
+    # assertion is gated on the hardware (the correctness assertions above
+    # are unconditional). Callers with tiny workloads (--quick) pass
+    # assert_speedup=False: amortizing pool startup needs enough queries.
+    speedup = serial_seconds / parallel_seconds
+    speedup_asserted = bool(assert_speedup and workers > 1
+                            and (os.cpu_count() or 1) > 1)
+    if speedup_asserted:
+        assert speedup >= 1.5, \
+            f"parallel speedup {speedup:.2f}x < 1.5x with {workers} " \
+            f"workers on {os.cpu_count()} cpus"
+
     return {
         "benchmark": "scheduler",
         "model": "sst-small L3 (Table 1 workload)",
@@ -108,7 +122,8 @@ def run_benchmark(workers=4, n_sentences=1, n_positions=4,
         "cpu_count": os.cpu_count(),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
-        "speedup": serial_seconds / parallel_seconds,
+        "speedup": speedup,
+        "speedup_asserted": speedup_asserted,
         "warm_seconds": warm_seconds,
         "warm_recomputed_queries": recomputed,
         "radii_identical": identical,
@@ -130,7 +145,7 @@ def main(argv=None):
 
     if args.quick:
         result = run_benchmark(workers=args.workers, n_positions=2,
-                               norms=("l2",))
+                               norms=("l2",), assert_speedup=False)
     else:
         result = run_benchmark(workers=args.workers)
     result["quick"] = args.quick

@@ -10,6 +10,10 @@ Usage::
                                                    # queries in .cert_cache
     python -m repro.experiments 1 --resume         # resume a crashed run
                                                    # from .cert_journal.jsonl
+    python -m repro.experiments 1 --trace-dir T/   # per-op certification
+                                                   # trace, one JSONL per
+                                                   # table, diffable with
+                                                   # python -m repro.trace
 
 ``--workers N`` fans the certification queries of every radius report
 across N worker processes (N=0 keeps the classic serial path); the
@@ -26,6 +30,7 @@ run.
 from __future__ import annotations
 
 import argparse
+import os
 
 from . import tables
 
@@ -66,6 +71,11 @@ def _build_parser():
     parser.add_argument(
         "--resume", action="store_true",
         help="replay the journal and recompute only missing entries")
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="record a certification trace (one span per abstract-"
+             "transformer application) to DIR/<table>.jsonl; compare runs "
+             "with `python -m repro.trace diff`")
     return parser
 
 
@@ -94,16 +104,32 @@ def main(argv=None):
               f"cache={cache_dir or 'off'}, journal={journal_path}"
               f"{' (resume)' if args.resume else ''}")
 
-    for key in selected:
-        _RUNNERS[key]()
-        if scheduler.last_stats and verbose:
-            stats = scheduler.last_stats
-            print(f"[scheduler] last report: {stats['queries']} queries, "
-                  f"{stats['journal_hits']} journal hits, "
-                  f"{stats['cache_hits']} cache hits, "
-                  f"{stats['retries']} retries, "
-                  f"{stats['fallbacks']} fallbacks, "
-                  f"{stats['degraded']} degraded")
+    if args.trace_dir:
+        from ..trace import TRACER, write_jsonl
+        os.makedirs(args.trace_dir, exist_ok=True)
+        TRACER.enable()
+
+    try:
+        for key in selected:
+            if args.trace_dir:
+                TRACER.reset()
+            _RUNNERS[key]()
+            if args.trace_dir:
+                path = os.path.join(args.trace_dir, f"{key}.jsonl")
+                write_jsonl(TRACER.snapshot(), path)
+                print(f"[trace] {len(TRACER.spans)} spans -> {path}")
+            if scheduler.last_stats and verbose:
+                stats = scheduler.last_stats
+                print(f"[scheduler] last report: {stats['queries']} "
+                      f"queries, {stats['journal_hits']} journal hits, "
+                      f"{stats['cache_hits']} cache hits, "
+                      f"{stats['retries']} retries, "
+                      f"{stats['fallbacks']} fallbacks, "
+                      f"{stats['degraded']} degraded")
+    finally:
+        if args.trace_dir:
+            TRACER.disable()
+            TRACER.reset()
     return 0
 
 

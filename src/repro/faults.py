@@ -225,7 +225,12 @@ def fault_zonotope(z, layer_index):
     injector = active_injector()
     if injector is None:
         return z
-    return injector.corrupt_zonotope(z, layer_index)
+    corrupted = injector.corrupt_zonotope(z, layer_index)
+    if corrupted is not z:
+        from .trace import TRACER
+        TRACER.record_event("fault-injected", layer=layer_index,
+                            kind=injector.plan.kind)
+    return corrupted
 
 
 def fault_worker_entry():

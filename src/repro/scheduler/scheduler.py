@@ -28,6 +28,7 @@ import multiprocessing
 from dataclasses import dataclass
 
 from ..perf import PerfRecorder
+from ..trace import TRACER
 from .cache import ResultCache
 from .worker import _pool_init, _pool_run, execute_query
 
@@ -44,6 +45,11 @@ class QueryOutcome:
     fallback). ``degraded`` is True when any certification of
     the query's binary search fell down the verifier's precision ladder;
     ``fallback_chain`` / ``fault`` carry the first such event's detail.
+
+    ``trace`` carries the query's certification-trace spans when
+    :data:`repro.trace.TRACER` was enabled during execution (empty for
+    cache/journal hits — traces are observability data and are not
+    persisted; rerun without the cache to trace a query).
     """
 
     query: object
@@ -54,6 +60,7 @@ class QueryOutcome:
     degraded: bool = False
     fallback_chain: tuple = ()
     fault: str = None
+    trace: tuple = ()
 
 
 def merge_outcome_perf(outcomes):
@@ -177,6 +184,16 @@ class CertScheduler:
                                    degraded=outcome.degraded,
                                    fallback_chain=outcome.fallback_chain,
                                    fault=outcome.fault)
+
+        if TRACER.enabled:
+            # Re-absorb per-query traces (query_scope detached them from
+            # the recording tracer, worker-side or serially) in query-key
+            # order, so the merged global trace is identical regardless of
+            # worker count or completion order.
+            for outcome in sorted(
+                    (o for o in outcomes if o.trace),
+                    key=lambda o: o.query.key()):
+                TRACER.absorb(outcome.trace)
 
         self.last_stats = stats
         return outcomes

@@ -24,6 +24,7 @@ import time
 
 from ..faults import fault_worker_entry
 from ..perf import PERF
+from ..trace import TRACER
 
 __all__ = ["execute_query"]
 
@@ -53,7 +54,12 @@ def execute_query(model, query):
     start = time.perf_counter()
     token_ids = list(query.sentence)
     meta = {"degraded": False, "fallback_chain": (), "fault": None}
-    with PERF.collecting() as recorder:
+    # query_scope detaches this query's spans from the global list and
+    # yields them (at scope exit) so they travel back through meta — the
+    # same code path serially and in a pool worker, which is what makes
+    # worker-merged traces identical to a serial run's.
+    with PERF.collecting() as recorder, \
+            TRACER.query_scope(query.key()) as spans:
         verifier = _build_verifier(model, query)
         true_label = model.predict(token_ids)
 
@@ -70,6 +76,7 @@ def execute_query(model, query):
         radius = binary_search_radius(certify, initial=query.initial,
                                       n_iterations=query.n_iterations)
         perf = recorder.snapshot()
+    meta["trace"] = tuple(spans)
     return radius, time.perf_counter() - start, perf, meta
 
 
@@ -78,6 +85,7 @@ def _pool_init(model):
     global _WORKER_MODEL
     _WORKER_MODEL = model
     PERF.reset()
+    TRACER.reset()
 
 
 def _pool_run(query):

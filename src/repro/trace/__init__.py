@@ -1,0 +1,24 @@
+"""Span-based structured tracing of the certification pipeline.
+
+One span per abstract-transformer application — layer index, op kind, wall
+time, bound-tightness statistics (interval widths, φ vs ε error mass,
+symbol counts around DecorrelateMin_k) — plus pipeline events (guard trips,
+degradation-ladder hops, injected faults). The recorder
+(:data:`TRACER`) mirrors :data:`repro.perf.PERF`: process-global, a no-op
+attribute check when disabled, fork-safe; scheduler workers trace their own
+queries and the parent merges the spans in deterministic query-key order.
+
+Emit traces with ``python -m repro.experiments ... --trace-dir DIR`` and
+compare runs with ``python -m repro.trace diff A/ B/`` (non-zero exit on
+bound-width or per-op time regressions).
+"""
+
+from .tracer import CertTracer, TRACER, traced, write_jsonl, read_jsonl
+from .diff import (load_spans, aggregate_spans, diff_aggregates,
+                   diff_traces, DEFAULTS)
+
+__all__ = [
+    "CertTracer", "TRACER", "traced", "write_jsonl", "read_jsonl",
+    "load_spans", "aggregate_spans", "diff_aggregates", "diff_traces",
+    "DEFAULTS",
+]

@@ -1,0 +1,65 @@
+"""Command-line trace tooling.
+
+Usage::
+
+    python -m repro.trace diff BASELINE/ CANDIDATE/
+
+compares two trace directories (or single ``.jsonl`` files) produced by
+``python -m repro.experiments ... --trace-dir DIR`` and reports per-op
+span-count, bound-width and wall-time deltas. Exits non-zero when any
+regression exceeds the thresholds, so the diff doubles as a CI gate:
+
+    python -m repro.experiments 1 --trace-dir run_a/
+    ... apply a change ...
+    python -m repro.experiments 1 --trace-dir run_b/
+    python -m repro.trace diff run_a/ run_b/   # exit 1 on loosened bounds
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .diff import DEFAULTS, diff_traces
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Certification-trace tooling (span diffing).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff = sub.add_parser(
+        "diff", help="compare two trace dirs/files; exit 1 on regressions")
+    diff.add_argument("baseline", help="baseline trace dir or .jsonl file")
+    diff.add_argument("candidate", help="candidate trace dir or .jsonl file")
+    diff.add_argument("--width-rtol", type=float,
+                      default=DEFAULTS["width_rtol"], metavar="F",
+                      help="relative bound-width tolerance "
+                           "(default %(default)g)")
+    diff.add_argument("--width-atol", type=float,
+                      default=DEFAULTS["width_atol"], metavar="F",
+                      help="absolute bound-width tolerance "
+                           "(default %(default)g)")
+    diff.add_argument("--time-rtol", type=float,
+                      default=DEFAULTS["time_rtol"], metavar="F",
+                      help="relative per-op wall-time tolerance "
+                           "(default %(default)g)")
+    diff.add_argument("--time-min-seconds", type=float,
+                      default=DEFAULTS["time_min_seconds"], metavar="S",
+                      help="absolute floor below which time deltas never "
+                           "flag (default %(default)g)")
+    return parser
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    regressions, lines = diff_traces(
+        args.baseline, args.candidate,
+        width_rtol=args.width_rtol, width_atol=args.width_atol,
+        time_rtol=args.time_rtol, time_min_seconds=args.time_min_seconds)
+    for line in lines:
+        print(line)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

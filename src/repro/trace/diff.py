@@ -1,0 +1,157 @@
+"""Trace comparison: per-op time and bound-width deltas between two runs.
+
+Spans are aggregated per ``(layer, op)`` group — count, total seconds,
+worst/mean interval width, eps error mass — and a *candidate* aggregate is
+compared against a *baseline* aggregate under configurable thresholds:
+
+* **bound-width**: the candidate's ``width_max`` (or count-weighted
+  ``width_mean``) exceeds the baseline's by more than
+  ``width_rtol``/``width_atol``. The default tolerance is tight (1e-9
+  relative): bound widths are deterministic for a fixed engine, so any real
+  loosening — an abstract transformer regressed — is flagged.
+* **op-time**: the candidate's total seconds exceed the baseline's by more
+  than ``time_rtol`` *and* by at least ``time_min_seconds``. The default is
+  deliberately generous (50% + 50ms): wall time is noisy, and the absolute
+  floor keeps microsecond ops from flagging.
+* **span-count**: the groups disagree on how many spans ran (an op
+  appeared, disappeared, or changed multiplicity — the pipeline shape
+  changed).
+
+Comparing a trace directory against itself reports zero deltas and exits
+zero (the CI smoke invariant).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from .tracer import read_jsonl
+
+__all__ = ["load_spans", "aggregate_spans", "diff_aggregates",
+           "diff_traces", "DEFAULTS"]
+
+DEFAULTS = {
+    "width_rtol": 1e-9,
+    "width_atol": 1e-12,
+    "time_rtol": 0.5,
+    "time_min_seconds": 0.05,
+}
+
+
+def load_spans(path):
+    """All spans at ``path``: a ``.jsonl`` file, or a directory of them
+    (read in sorted filename order for determinism)."""
+    if os.path.isdir(path):
+        spans = []
+        for name in sorted(os.listdir(path)):
+            if name.endswith(".jsonl"):
+                spans.extend(read_jsonl(os.path.join(path, name)))
+        return spans
+    return read_jsonl(path)
+
+
+def aggregate_spans(spans):
+    """Aggregate spans per (layer, op) group.
+
+    Returns ``{(layer, op): {count, seconds, width_max, width_mean,
+    eps_mass_max}}`` where ``width_mean`` averages the spans' own mean
+    widths (only spans carrying zonotope statistics contribute to the
+    width/mass fields — events count toward ``count`` and ``seconds``
+    only).
+    """
+    groups = {}
+    for span in spans:
+        key = (span.get("layer"), span["op"])
+        group = groups.setdefault(key, {
+            "count": 0, "seconds": 0.0, "width_max": 0.0,
+            "width_mean": 0.0, "eps_mass_max": 0.0, "_n_stats": 0,
+        })
+        group["count"] += 1
+        group["seconds"] += float(span.get("seconds", 0.0))
+        if "width_max" in span:
+            group["_n_stats"] += 1
+            group["width_max"] = max(group["width_max"],
+                                     float(span["width_max"]))
+            group["width_mean"] += float(span["width_mean"])
+            group["eps_mass_max"] = max(group["eps_mass_max"],
+                                        float(span.get("eps_mass", 0.0)))
+    for group in groups.values():
+        n = group.pop("_n_stats")
+        group["width_mean"] = group["width_mean"] / n if n else 0.0
+    return groups
+
+
+def _group_sort_key(key):
+    layer, op = key
+    return (layer is None, layer if layer is not None else -1, op)
+
+
+def _width_regressed(base, cand, rtol, atol):
+    """True iff ``cand`` exceeds ``base`` beyond tolerance (inf-aware)."""
+    if math.isinf(cand) and not math.isinf(base):
+        return True
+    if math.isinf(base):
+        return False
+    return cand > base * (1.0 + rtol) + atol
+
+
+def diff_aggregates(base, cand, width_rtol=DEFAULTS["width_rtol"],
+                    width_atol=DEFAULTS["width_atol"],
+                    time_rtol=DEFAULTS["time_rtol"],
+                    time_min_seconds=DEFAULTS["time_min_seconds"]):
+    """Compare two aggregates; returns ``(regressions, report_lines)``.
+
+    Each regression is a dict with ``kind`` (``bound-width`` / ``op-time``
+    / ``span-count``), the ``layer``/``op`` group and the baseline vs
+    candidate values.
+    """
+    regressions = []
+    lines = []
+    for key in sorted(set(base) | set(cand), key=_group_sort_key):
+        layer, op = key
+        where = f"layer={layer if layer is not None else '-'} op={op}"
+        a, b = base.get(key), cand.get(key)
+        if a is None or b is None or a["count"] != b["count"]:
+            count_a = a["count"] if a else 0
+            count_b = b["count"] if b else 0
+            regressions.append({"kind": "span-count", "layer": layer,
+                                "op": op, "baseline": count_a,
+                                "candidate": count_b})
+            lines.append(f"REGRESSION span-count  {where}: "
+                         f"{count_a} -> {count_b} spans")
+            continue
+        for field in ("width_max", "width_mean"):
+            if _width_regressed(a[field], b[field], width_rtol, width_atol):
+                regressions.append({"kind": "bound-width", "layer": layer,
+                                    "op": op, "field": field,
+                                    "baseline": a[field],
+                                    "candidate": b[field]})
+                lines.append(f"REGRESSION bound-width {where}: {field} "
+                             f"{a[field]:.6g} -> {b[field]:.6g}")
+        if (b["seconds"] > a["seconds"] * (1.0 + time_rtol)
+                and b["seconds"] - a["seconds"] > time_min_seconds):
+            regressions.append({"kind": "op-time", "layer": layer, "op": op,
+                                "baseline": a["seconds"],
+                                "candidate": b["seconds"]})
+            lines.append(f"REGRESSION op-time     {where}: "
+                         f"{a['seconds']:.3f}s -> {b['seconds']:.3f}s")
+    return regressions, lines
+
+
+def diff_traces(baseline_path, candidate_path, **thresholds):
+    """Diff two trace files/directories; returns (regressions, lines).
+
+    The report always ends with a one-line summary; regression lines (if
+    any) precede it.
+    """
+    base_spans = load_spans(baseline_path)
+    cand_spans = load_spans(candidate_path)
+    base = aggregate_spans(base_spans)
+    cand = aggregate_spans(cand_spans)
+    regressions, lines = diff_aggregates(base, cand, **thresholds)
+    lines.append(
+        f"compared {len(base_spans)} baseline vs {len(cand_spans)} "
+        f"candidate spans across {len(set(base) | set(cand))} (layer, op) "
+        f"groups: {len(regressions)} regression(s)")
+    return regressions, lines

@@ -1,0 +1,231 @@
+"""The span recorder: one structured record per abstract-transformer
+application.
+
+:class:`CertTracer` follows the :class:`repro.perf.PerfRecorder` contract
+exactly — a process-global singleton (:data:`TRACER`), disabled by default,
+every production hook a cheap attribute check when idle, fork-safe via
+``os.register_at_fork`` (a scheduler pool worker starts from a clean span
+list but inherits the enabled flag, so worker-side propagations are traced
+whenever the parent traces).
+
+A *span* is a plain JSON-serializable dict with the fields
+
+``query``      sha256 key of the owning CertQuery (None outside the
+               scheduler),
+``layer``      transformer-layer index the op ran in (``n_layers`` marks
+               the classifier head, None outside a propagation),
+``op``         op kind: ``affine``, ``relu``, ``tanh``, ``exp``,
+               ``reciprocal``, ``rsqrt``, ``sigmoid``, ``gelu``,
+               ``dot-fast``, ``dot-precise``, ``multiply-*``, ``softmax``,
+               ``softmax-sum-refine``, ``reduce`` — or an *event* kind:
+               ``guard-trip``, ``degradation-hop``, ``fault-injected``,
+``seconds``    wall time of the application (0.0 for events),
+``width_mean`` / ``width_max``
+               mean/max concrete interval width of the output zonotope
+               (Theorem 1 bounds; may be ``inf`` after overflow),
+``phi_mass``   total ℓq dual-norm mass of the phi block,
+``eps_mass``   total ℓ1 mass of the eps block (the ε error mass),
+``n_phi`` / ``n_eps``
+               symbol counts of the output,
+``eps_before`` input eps-symbol count (``reduce`` spans only; ``n_eps`` is
+               the count after DecorrelateMin_k).
+
+Events carry ``op``/``layer``/``query`` plus event-specific fields
+(``stage``/``detail`` for guard trips, ``rung``/``fault`` for degradation
+hops, ``kind`` for injected faults) and no zonotope statistics.
+
+Recording never mutates a zonotope: statistics are read through the
+tail-aware :meth:`~repro.zonotope.multinorm.MultiNormZonotope.bounds` and
+``eps_l1`` queries, so a traced propagation is bitwise identical to an
+untraced one.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+from contextlib import contextmanager
+
+__all__ = ["CertTracer", "TRACER", "traced", "write_jsonl", "read_jsonl"]
+
+
+class CertTracer:
+    """Process-global span recorder for the certification pipeline."""
+
+    def __init__(self):
+        self.enabled = False
+        self.reset()
+
+    def reset(self):
+        """Drop all recorded spans (the enabled flag is unchanged)."""
+        self.spans = []
+        self._layer = None
+        self._query = None
+
+    # ------------------------------------------------------------- lifecycle
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    @contextmanager
+    def collecting(self, reset=True):
+        """Enable tracing for a scope, restoring the prior state after."""
+        previous = self.enabled
+        if reset:
+            self.reset()
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # --------------------------------------------------------------- context
+    @contextmanager
+    def layer_scope(self, index):
+        """Attribute spans recorded in this scope to layer ``index``."""
+        if not self.enabled:
+            yield
+            return
+        previous = self._layer
+        self._layer = index
+        try:
+            yield
+        finally:
+            self._layer = previous
+
+    @contextmanager
+    def query_scope(self, key):
+        """Attribute spans to query ``key`` and hand them to the caller.
+
+        Yields a list that is populated *at scope exit* with every span
+        recorded inside the scope; those spans are removed from the global
+        list. This is how a scheduler worker (or the serial in-process
+        path — deliberately the same code path, so serial and parallel runs
+        produce identical spans) ships a query's trace back to the parent,
+        which re-absorbs all traces in deterministic query-key order.
+        """
+        held = []
+        if not self.enabled:
+            yield held
+            return
+        previous = self._query
+        self._query = key
+        start = len(self.spans)
+        try:
+            yield held
+        finally:
+            held.extend(self.spans[start:])
+            del self.spans[start:]
+            self._query = previous
+
+    # ------------------------------------------------------------- recording
+    def record_op(self, op, zonotope, seconds, eps_before=None, **extra):
+        """Record one abstract-transformer application producing
+        ``zonotope``."""
+        if not self.enabled:
+            return
+        span = {"query": self._query, "layer": self._layer, "op": op,
+                "seconds": float(seconds)}
+        span.update(_zonotope_stats(zonotope))
+        if eps_before is not None:
+            span["eps_before"] = int(eps_before)
+        span.update(extra)
+        self.spans.append(span)
+
+    def record_event(self, op, **fields):
+        """Record a zero-duration pipeline event (guard trip, ladder hop,
+        injected fault)."""
+        if not self.enabled:
+            return
+        span = {"query": self._query, "layer": self._layer, "op": op,
+                "seconds": 0.0}
+        span.update(fields)
+        self.spans.append(span)
+
+    # ----------------------------------------------------------- aggregation
+    def absorb(self, spans):
+        """Fold already-recorded spans (e.g. shipped back from a scheduler
+        worker) into this tracer. Like :meth:`PerfRecorder.merge`, this is
+        bookkeeping over recorded data and bypasses the ``enabled`` gate —
+        callers gate on ``TRACER.enabled`` themselves."""
+        self.spans.extend(dict(span) for span in spans)
+
+    def snapshot(self):
+        """A copy of every recorded span (list of plain dicts)."""
+        return [dict(span) for span in self.spans]
+
+
+def _zonotope_stats(z):
+    """Bound-tightness statistics of a zonotope, without mutating it.
+
+    ``bounds()`` and ``eps_l1()`` are tail-aware pure queries; the lazy eps
+    tail is never materialized for the sake of a span.
+    """
+    import numpy as np
+
+    from ..zonotope.multinorm import norm_along_axis0
+
+    lower, upper = z.bounds()
+    width = upper - lower
+    return {
+        "width_mean": float(np.mean(width)),
+        "width_max": float(np.max(width, initial=0.0)),
+        "phi_mass": float(norm_along_axis0(z.phi, z.q).sum())
+        if z.n_phi else 0.0,
+        "eps_mass": float(z.eps_l1().sum()) if z.n_eps else 0.0,
+        "n_phi": int(z.n_phi),
+        "n_eps": int(z.n_eps),
+    }
+
+
+def traced(op):
+    """Decorator tracing a zonotope-in/zonotope-out abstract transformer.
+
+    The wrapped function pays one attribute check when tracing is disabled.
+    """
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = TRACER
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            tracer.record_op(op, out, time.perf_counter() - start)
+            return out
+        return wrapper
+    return decorate
+
+
+# ------------------------------------------------------------------ JSONL IO
+def write_jsonl(spans, path):
+    """Write spans to ``path`` as one JSON object per line."""
+    with open(path, "w") as f:
+        for span in spans:
+            f.write(json.dumps(span) + "\n")
+
+
+def read_jsonl(path):
+    """Read a span list written by :func:`write_jsonl`."""
+    spans = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+TRACER = CertTracer()
+"""The process-global tracer every pipeline hook reports into."""
+
+# Fork safety (same contract as repro.perf.PERF): a forked scheduler worker
+# starts from a clean span list — but keeps the parent's enabled flag, so
+# worker-side propagations are traced whenever the parent traces — and ships
+# its spans back through execute_query's meta for the parent to absorb().
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=TRACER.reset)

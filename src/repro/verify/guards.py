@@ -34,6 +34,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from ..perf import PERF
+from ..trace import TRACER
 
 __all__ = [
     "CertificationFault", "NumericalBlowupError", "SymbolBudgetExceeded",
@@ -124,6 +125,7 @@ class PropagationGuard:
     def _trip(self, error, stage, detail):
         self.trips += 1
         PERF.count("guard_trips")
+        TRACER.record_event("guard-trip", stage=stage, detail=detail)
         raise error(stage, detail)
 
 

@@ -23,10 +23,13 @@ operation by operation:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..faults import fault_zonotope
 from ..perf import PERF
+from ..trace import TRACER
 from ..zonotope import (
     DotProductConfig, apply_eps_rewrites, propagation_errstate,
     reduce_noise_symbols, relu, tanh, rsqrt, softmax as zonotope_softmax,
@@ -42,9 +45,16 @@ __all__ = ["propagate_linear", "propagate_layer_norm", "propagate_attention",
 
 def propagate_linear(z, linear):
     """Exact affine transformer for a :class:`repro.nn.Linear`."""
+    if not TRACER.enabled:
+        out = z.matmul_const(linear.weight.data)
+        if linear.bias is not None:
+            out = out + linear.bias.data
+        return out
+    start = time.perf_counter()
     out = z.matmul_const(linear.weight.data)
     if linear.bias is not None:
         out = out + linear.bias.data
+    TRACER.record_op("affine", out, time.perf_counter() - start)
     return out
 
 
@@ -81,12 +91,16 @@ def _stacked_projection(x, heads, proj_name):
     the fresh symbols different heads introduce stay distinct instead of
     aliasing at overlapping indices.
     """
+    start = time.perf_counter() if TRACER.enabled else 0.0
     weight = np.concatenate(
         [getattr(h, proj_name).weight.data for h in heads], axis=1)
     out = x.matmul_const(weight)
     biases = [getattr(h, proj_name).bias for h in heads]
     if all(b is not None for b in biases):
         out = out + np.concatenate([b.data for b in biases])
+    if TRACER.enabled:
+        TRACER.record_op("affine", out, time.perf_counter() - start,
+                         projection=proj_name)
     return out
 
 
@@ -189,23 +203,26 @@ def propagate_classifier(model, input_zonotope, config=None):
     with propagation_errstate():
         z = input_zonotope
         for index, layer in enumerate(model.layers):
-            # Deterministic fault-injection point (no-op without an active
-            # REPRO_FAULT_PLAN): corrupts the zonotope entering layer k so
-            # the guard checkpoints downstream are exercised end to end.
-            z = fault_zonotope(z, index)
-            cap = config.cap_for_layer(index, n_layers)
-            if cap is not None:
-                with PERF.stage("reduction"):
-                    z = reduce_noise_symbols(
-                        z, cap, tol=config.coeff_tol,
-                        strategy=config.reduction_strategy)
-                    check_zonotope(z, "reduction")
-            dot_config = DotProductConfig(
-                variant=config.variant_for_layer(index, n_layers),
-                order=config.dual_norm_order, tol=config.coeff_tol)
-            z = propagate_transformer_layer(z, layer, config, dot_config)
-            PERF.gauge_max("peak_eps_rows", z.n_eps)
-        with PERF.stage("classifier_head"):
+            with TRACER.layer_scope(index):
+                # Deterministic fault-injection point (no-op without an
+                # active REPRO_FAULT_PLAN): corrupts the zonotope entering
+                # layer k so the guard checkpoints downstream are exercised
+                # end to end.
+                z = fault_zonotope(z, index)
+                cap = config.cap_for_layer(index, n_layers)
+                if cap is not None:
+                    with PERF.stage("reduction"):
+                        z = reduce_noise_symbols(
+                            z, cap, tol=config.coeff_tol,
+                            strategy=config.reduction_strategy)
+                        check_zonotope(z, "reduction")
+                dot_config = DotProductConfig(
+                    variant=config.variant_for_layer(index, n_layers),
+                    order=config.dual_norm_order, tol=config.coeff_tol)
+                z = propagate_transformer_layer(z, layer, config,
+                                                dot_config)
+                PERF.gauge_max("peak_eps_rows", z.n_eps)
+        with PERF.stage("classifier_head"), TRACER.layer_scope(n_layers):
             pooled = tanh(propagate_linear(z[0], model.pool))
             out = propagate_linear(pooled, model.classifier)
             check_zonotope(out, "classifier_head")

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..perf import PERF
+from ..trace import TRACER
 from .config import VerifierConfig
 from .guards import (CertificationFault, PropagationGuard,
                      certified_from_margin, guard_scope)
@@ -110,6 +111,9 @@ class DeepTVerifier:
             except _RECOVERABLE as error:
                 if fault is None:
                     fault = f"{type(error).__name__}: {error}"
+                TRACER.record_event(
+                    "degradation-hop", rung=rung_name,
+                    fault=f"{type(error).__name__}")
                 if not self.config.degradation_ladder:
                     raise
                 continue

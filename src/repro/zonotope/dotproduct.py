@@ -26,8 +26,11 @@ Two bounding strategies are provided:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..trace import TRACER
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
 from .numeric import under_propagation_errstate
 from .storage import fast_path_enabled
@@ -293,6 +296,16 @@ def zonotope_matmul(x, y, config=None):
     if (x.ndim < 2 or y.ndim != x.ndim or x.shape[-1] != y.shape[-2]
             or x.shape[:-2] != y.shape[:-2]):
         raise ValueError(f"incompatible shapes {x.shape} @ {y.shape}")
+    if not TRACER.enabled:
+        return _matmul_impl(x, y, config)
+    start = time.perf_counter()
+    out = _matmul_impl(x, y, config)
+    TRACER.record_op(f"dot-{config.variant}", out,
+                     time.perf_counter() - start)
+    return out
+
+
+def _matmul_impl(x, y, config):
     if fast_path_enabled() and config.variant == "fast":
         return _matmul_fast_path(x, y, config)
     x, y = x.aligned_with(y)
@@ -334,6 +347,16 @@ def zonotope_multiply(x, y, config=None):
     per-row 1/sigma multiplies a full row).
     """
     config = config or DotProductConfig()
+    if not TRACER.enabled:
+        return _multiply_impl(x, y, config)
+    start = time.perf_counter()
+    out = _multiply_impl(x, y, config)
+    TRACER.record_op(f"multiply-{config.variant}", out,
+                     time.perf_counter() - start)
+    return out
+
+
+def _multiply_impl(x, y, config):
     x, y = x.aligned_with(y)
     out_shape = np.broadcast_shapes(x.shape, y.shape)
     x = _broadcast_vars(x, out_shape)

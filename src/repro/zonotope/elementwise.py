@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..trace import traced
 from .numeric import under_propagation_errstate
 
 __all__ = ["relu", "tanh", "exp", "reciprocal", "rsqrt", "sigmoid",
@@ -49,6 +50,7 @@ def affine_response(x, lam, mu, beta_new, tol=0.0):
     return x.affine_image(lam, mu).append_fresh_eps(beta_new, tol=tol)
 
 
+@traced("relu")
 @under_propagation_errstate
 def relu(x):
     """Minimal-area ReLU transformer (Section 4.3, Eq. 2)."""
@@ -73,6 +75,7 @@ def relu(x):
     return affine_response(x, lam, mu, beta)
 
 
+@traced("tanh")
 @under_propagation_errstate
 def tanh(x):
     """Tanh transformer (Section 4.4): secant-slope parallelogram."""
@@ -89,6 +92,7 @@ def tanh(x):
     return affine_response(x, lam, mu, beta)
 
 
+@traced("exp")
 @under_propagation_errstate
 def exp(x):
     """Exponential transformer (Section 4.5).
@@ -144,6 +148,7 @@ def _convex_decreasing_response(x, f, fprime, t_crit, t_min, lower, upper):
     return affine_response(x, lam, mu, beta)
 
 
+@traced("reciprocal")
 @under_propagation_errstate
 def reciprocal(x):
     """Reciprocal transformer for positive inputs (Section 4.6).
@@ -163,6 +168,7 @@ def reciprocal(x):
         lower, upper)
 
 
+@traced("rsqrt")
 @under_propagation_errstate
 def rsqrt(x, shift=0.0, assume_nonnegative=False):
     """Transformer for ``1/sqrt(x + shift)`` on positive inputs.
@@ -204,6 +210,7 @@ def rsqrt(x, shift=0.0, assume_nonnegative=False):
                                        lower, upper)
 
 
+@traced("sigmoid")
 @under_propagation_errstate
 def sigmoid(x):
     """Sigmoid transformer (s-shaped, parallel-slope band).
@@ -230,6 +237,7 @@ def sigmoid(x):
     return affine_response(x, lam, mu, beta)
 
 
+@traced("gelu")
 @under_propagation_errstate
 def gelu(x, n_grid=64):
     """GELU transformer via a sampled parallel-slope band.

@@ -16,8 +16,11 @@ symbol space.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..trace import TRACER
 from .multinorm import MultiNormZonotope
 
 __all__ = ["reduce_noise_symbols", "symbol_scores", "REDUCTION_STRATEGIES"]
@@ -70,6 +73,16 @@ def reduce_noise_symbols(z, k, tol=0.0, strategy="mass"):
         raise ValueError("k must be non-negative")
     if z.n_eps <= k:
         return z
+    if not TRACER.enabled:
+        return _reduce_impl(z, k, tol, strategy)
+    start = time.perf_counter()
+    out = _reduce_impl(z, k, tol, strategy)
+    TRACER.record_op("reduce", out, time.perf_counter() - start,
+                     eps_before=z.n_eps)
+    return out
+
+
+def _reduce_impl(z, k, tol, strategy):
     scores = symbol_scores(z, strategy)
     keep = np.sort(np.argsort(scores)[::-1][:k])
     drop_mask = np.ones(z.n_eps, dtype=bool)

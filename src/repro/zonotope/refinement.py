@@ -35,10 +35,13 @@ decorrelates the rewritten copies).
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..trace import TRACER
 from .multinorm import MultiNormZonotope
 
 __all__ = ["EpsRewrite", "apply_eps_rewrites", "refine_softmax_rows",
@@ -208,6 +211,16 @@ def refine_softmax_rows(z):
     """
     if z.ndim != 2:
         raise ValueError(f"expected an (n, m) zonotope, got {z.shape}")
+    if not TRACER.enabled:
+        return _refine_impl(z)
+    start = time.perf_counter()
+    out, rewrites = _refine_impl(z)
+    TRACER.record_op("softmax-sum-refine", out,
+                     time.perf_counter() - start, n_rewrites=len(rewrites))
+    return out, rewrites
+
+
+def _refine_impl(z):
     center = z.center.copy()
     phi = z.phi.copy()
     eps = z.eps.copy()

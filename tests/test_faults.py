@@ -15,7 +15,9 @@ from repro.faults import (FaultInjector, FaultPlan, KILL_EXIT_CODE,
                           active_injector, fault_zonotope,
                           install_fault_plan, reset_fault_state)
 from repro.scheduler import CertScheduler, ResultCache, expand_word_queries
-from repro.verify import DeepTVerifier, FAST, word_perturbation_region
+from repro.trace import TRACER
+from repro.verify import (DeepTVerifier, FAST, PRECISE,
+                          word_perturbation_region)
 from repro.zonotope import MultiNormZonotope
 
 SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
@@ -120,6 +122,61 @@ class TestPropagationChaos:
         with install_fault_plan(FaultPlan(kind="nan", layer=0, seed=SEED)):
             with pytest.raises(Exception):
                 verifier.certify_region(region, true_label)
+
+
+class TestTraceChaos:
+    """Injected faults and degradation-ladder hops must be visible as
+    trace events, in rung order, alongside the ordinary op spans."""
+
+    def test_fault_and_ladder_hops_traced(self, tiny_model, region,
+                                          true_label):
+        verifier = DeepTVerifier(tiny_model, PRECISE(noise_symbol_cap=64))
+        plan = FaultPlan(kind="nan", layer=0, seed=SEED)  # unlimited fires
+        with install_fault_plan(plan), TRACER.collecting() as tracer:
+            result = verifier.certify_region(region, true_label)
+        assert result.degraded
+        assert result.fallback_chain == ("precise", "fast", "ibp")
+
+        faults = [s for s in tracer.spans if s["op"] == "fault-injected"]
+        hops = [s for s in tracer.spans if s["op"] == "degradation-hop"]
+        # One injection per zonotope rung (precise, fast; IBP has no
+        # zonotope injection point), each pinned to the target layer.
+        assert len(faults) == 2
+        assert all(s["layer"] == 0 and s["kind"] == "nan" for s in faults)
+        # One hop event per failed rung, in ladder order, carrying the
+        # originating fault type.
+        assert [s["rung"] for s in hops] == ["precise", "fast"]
+        assert all(s["fault"] for s in hops)
+        # Events are zero-duration. The NaN is caught at the layer-0
+        # reduction checkpoint, so each zonotope rung records exactly
+        # injection -> guard trip -> hop and no op spans.
+        assert all(s["seconds"] == 0.0 for s in faults + hops)
+        trips = [s for s in tracer.spans if s["op"] == "guard-trip"]
+        assert len(trips) == 2
+        assert all(s["layer"] == 0 for s in trips)
+
+    def test_guard_trip_traced(self, tiny_model, region, true_label):
+        """A fault the guards catch (overscale blows up downstream, not at
+        the injection site) must surface as guard-trip events."""
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        plan = FaultPlan(kind="overscale", layer=0, seed=SEED)
+        with install_fault_plan(plan), TRACER.collecting() as tracer:
+            result = verifier.certify_region(region, true_label)
+        assert result.degraded
+        trips = [s for s in tracer.spans if s["op"] == "guard-trip"]
+        assert trips
+        assert all(s["stage"] and s["detail"] for s in trips)
+        # Overscale blows up downstream of the injection, so the failed
+        # rungs recorded real op spans before tripping.
+        assert any(s["op"] == "affine" for s in tracer.spans)
+
+    def test_clean_run_has_no_event_spans(self, tiny_model, region,
+                                          true_label):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=64))
+        with TRACER.collecting() as tracer:
+            verifier.certify_region(region, true_label)
+        events = {"fault-injected", "degradation-hop", "guard-trip"}
+        assert not [s for s in tracer.spans if s["op"] in events]
 
 
 class TestSchedulerChaos:

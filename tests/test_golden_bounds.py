@@ -1,0 +1,151 @@
+"""Golden per-layer bound snapshot of a cached reference checkpoint.
+
+Certifies the cached ``sst-small`` 2-layer checkpoint (trained once,
+committed in ``.model_cache/``) at fixed radii for p in {1, 2, inf} with
+the tracer enabled, aggregates the trace per (layer, op), and compares the
+resulting margins and interval widths against the committed snapshot
+``tests/golden_bounds.json``.
+
+The engine is deterministic for fixed weights, so the tolerance is tight
+(``RTOL = 1e-6``, covering BLAS summation-order differences across
+platforms, not algorithmic drift): any abstract-transformer change that
+moves a bound beyond it fails this suite and must either be fixed or be
+acknowledged by regenerating the snapshot.
+
+Regenerate (only after an *intended* precision change, and say so in the
+commit message)::
+
+    PYTHONPATH=src python tests/test_golden_bounds.py --regen
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.trace import TRACER, aggregate_spans
+from repro.verify import DeepTVerifier, FAST, word_perturbation_region
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_bounds.json")
+RTOL = 1e-6
+
+# Fixed certification workload: (label, p, radius). Small radii certify,
+# the large one exercises the loose end; both directions are pinned.
+CASES = [
+    ("p1", 1.0, 0.05),
+    ("p2", 2.0, 0.05),
+    ("pinf", float("inf"), 0.01),
+]
+N_LAYERS = 2
+POSITION = 1
+
+
+def _reference_setup():
+    from repro.experiments.harness import (evaluation_sentences,
+                                          get_transformer)
+    model, dataset, _ = get_transformer("sst-small", n_layers=N_LAYERS)
+    sentence = evaluation_sentences(model, dataset, 1, seed=0)[0]
+    return model, sentence
+
+
+def compute_golden():
+    """The snapshot payload: per-case margin + per-(layer, op) widths."""
+    model, sentence = _reference_setup()
+    verifier = DeepTVerifier(model, FAST(noise_symbol_cap=128))
+    true_label = model.predict(list(sentence))
+    payload = {"sentence": [int(t) for t in sentence],
+               "true_label": int(true_label), "cases": {}}
+    for label, p, radius in CASES:
+        region = word_perturbation_region(model, list(sentence), POSITION,
+                                          radius, p)
+        with TRACER.collecting() as tracer:
+            result = verifier.certify_region(region, true_label)
+        groups = {}
+        for (layer, op), stats in aggregate_spans(tracer.spans).items():
+            groups[f"{layer}|{op}"] = {
+                "count": stats["count"],
+                "width_max": stats["width_max"],
+                "width_mean": stats["width_mean"],
+            }
+        payload["cases"][label] = {
+            "p": p if np.isfinite(p) else "inf",
+            "radius": radius,
+            "certified": bool(result.certified),
+            "margin_lower": float(result.margin_lower),
+            "groups": groups,
+        }
+    return payload
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(f"missing {GOLDEN_PATH}; regenerate with "
+                    f"`PYTHONPATH=src python tests/test_golden_bounds.py "
+                    f"--regen`")
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_golden()
+
+
+class TestGoldenBounds:
+    def test_same_workload(self, golden, current):
+        """The snapshot matches this suite's pinned queries (else it is
+        stale and must be regenerated, not tolerated)."""
+        assert golden["sentence"] == current["sentence"]
+        assert golden["true_label"] == current["true_label"]
+        assert sorted(golden["cases"]) == sorted(current["cases"])
+
+    @pytest.mark.parametrize("label", [c[0] for c in CASES])
+    def test_margin_matches(self, golden, current, label):
+        old = golden["cases"][label]
+        new = current["cases"][label]
+        assert old["certified"] == new["certified"]
+        assert new["margin_lower"] == pytest.approx(old["margin_lower"],
+                                                    rel=RTOL, abs=1e-12)
+
+    @pytest.mark.parametrize("label", [c[0] for c in CASES])
+    def test_per_layer_widths_match(self, golden, current, label):
+        old = golden["cases"][label]["groups"]
+        new = current["cases"][label]["groups"]
+        assert sorted(old) == sorted(new), "pipeline shape changed"
+        for key, stats in old.items():
+            got = new[key]
+            assert got["count"] == stats["count"], key
+            for field in ("width_max", "width_mean"):
+                assert got[field] == pytest.approx(
+                    stats[field], rel=RTOL, abs=1e-12), (key, field)
+
+    def test_covers_every_layer(self, current):
+        layers = {int(key.split("|")[0])
+                  for case in current["cases"].values()
+                  for key in case["groups"]}
+        assert layers == set(range(N_LAYERS + 1))
+
+
+def main():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate tests/golden_bounds.json")
+    parser.add_argument("--regen", action="store_true",
+                        help="recompute and overwrite the snapshot")
+    args = parser.parse_args()
+    if not args.regen:
+        parser.error("nothing to do; pass --regen to rewrite the snapshot")
+    payload = compute_golden()
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    n_groups = sum(len(c["groups"]) for c in payload["cases"].values())
+    print(f"wrote {GOLDEN_PATH}: {len(payload['cases'])} cases, "
+          f"{n_groups} (layer, op) groups")
+
+
+if __name__ == "__main__":
+    main()
