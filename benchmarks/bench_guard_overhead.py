@@ -45,6 +45,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 CHAOS_KINDS = ("nan", "inf", "overscale")
 
+# Hard ceiling on healthy-run guard overhead, asserted in every mode
+# (quick included): the cheap min/max finiteness path keeps the measured
+# fraction around 1-2%, and this bound makes a silent return of the old
+# eps_l1-based 30% tax impossible.
+GUARD_OVERHEAD_BUDGET = 0.05
+
 
 def build_workload(model, sentences, n_positions, **config_overrides):
     config = FAST(noise_symbol_cap=SCALE.noise_symbol_cap,
@@ -74,12 +80,20 @@ def run_benchmark(n_sentences=1, n_positions=4, n_layers=2, seed=0):
           f"({len(sentences)} sentences x {n_positions} positions, "
           f"L{n_layers})")
 
+    # One untimed query absorbs first-touch costs (numpy kernel warm-up,
+    # lazy imports) so the plain-vs-guarded comparison is pure guard cost.
+    timed_run(model, plain_queries[:1])
+
     plain, plain_seconds = timed_run(model, plain_queries)
     print(f"plain   : {plain_seconds:.2f}s (guards off, ladder off)")
     guarded, guarded_seconds = timed_run(model, guarded_queries)
     overhead = guarded_seconds / plain_seconds - 1.0
     print(f"guarded : {guarded_seconds:.2f}s "
           f"(overhead {overhead * 100:+.1f}%)")
+    assert overhead < GUARD_OVERHEAD_BUDGET, \
+        (f"guard overhead {overhead:.3f} exceeds the "
+         f"{GUARD_OVERHEAD_BUDGET:.0%} budget — the cheap guard path "
+         f"regressed")
 
     plain_radii = [o.radius for o in plain]
     guarded_radii = [o.radius for o in guarded]
@@ -122,6 +136,7 @@ def run_benchmark(n_sentences=1, n_positions=4, n_layers=2, seed=0):
         "plain_seconds": plain_seconds,
         "guarded_seconds": guarded_seconds,
         "guard_overhead_fraction": overhead,
+        "guard_overhead_budget": GUARD_OVERHEAD_BUDGET,
         "radii_identical": guarded_radii == plain_radii,
         "healthy_degradations": int(degradations),
         "healthy_guard_trips": int(guard_trips),

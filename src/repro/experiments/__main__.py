@@ -14,10 +14,19 @@ Usage::
                                                    # trace, one JSONL per
                                                    # table, diffable with
                                                    # python -m repro.trace
+    python -m repro.experiments 1 --batch-size 8   # coalesce compatible
+                                                   # queries into stacked
+                                                   # batched propagations
+    python -m repro.experiments report --check     # join BENCH_*.json into
+                                                   # REPORT.md; exit 1 on
+                                                   # any regression gate
 
 ``--workers N`` fans the certification queries of every radius report
-across N worker processes (N=0 keeps the classic serial path); the
-certified radii are identical either way. ``--cache`` (or
+across N worker processes (N=0 keeps the classic serial path);
+``--batch-size N`` instead coalesces up to N compatible queries into one
+stacked batched propagation per search round (single-process, best on
+compact dispatch-bound models — see DESIGN.md §12); the certified radii
+are bitwise identical either way. ``--cache`` (or
 ``--cache-dir PATH``) memoizes completed queries on disk keyed by model
 weights, corpus fingerprint and query config, so re-runs and extended
 sweeps only pay for new queries. ``--journal PATH`` appends every
@@ -51,10 +60,15 @@ def _build_parser():
     parser.add_argument(
         "experiments", nargs="*", metavar="TABLE",
         help=f"tables to run (default: all); choose from "
-             f"{sorted(_RUNNERS)}")
+             f"{sorted(_RUNNERS)}, or 'report' to join benchmark "
+             f"results into REPORT.md")
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="certification-query worker processes (0 = serial, default)")
+    parser.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="coalesce up to N compatible queries into one stacked "
+             "batched propagation (1 = serial, default)")
     parser.add_argument(
         "--cache", action="store_true",
         help="memoize completed queries in the default .cert_cache dir")
@@ -76,12 +90,33 @@ def _build_parser():
         help="record a certification trace (one span per abstract-"
              "transformer application) to DIR/<table>.jsonl; compare runs "
              "with `python -m repro.trace diff`")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="(report) exit nonzero when a regression gate fails")
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="(report) directory of BENCH_*.json files "
+             "(default: benchmarks/results)")
+    parser.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="(report) markdown output path (default: REPORT.md)")
     return parser
 
 
 def main(argv=None):
     """Run the selected experiment runners; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.experiments and args.experiments[0] == "report":
+        if len(args.experiments) > 1:
+            print("report takes no table arguments")
+            return 1
+        from .report import run_report
+        return run_report(results_dir=args.results_dir,
+                          out=args.report_out, check=args.check,
+                          trace_dir=args.trace_dir,
+                          journal_path=args.journal)
+
     selected = args.experiments or sorted(_RUNNERS,
                                           key=lambda k: (len(k), k))
     unknown = [key for key in selected if key not in _RUNNERS]
@@ -95,12 +130,14 @@ def main(argv=None):
                                    else None)
     scheduler = configure(workers=args.workers, cache_dir=cache_dir,
                           timeout=args.timeout, journal_path=args.journal,
-                          resume=args.resume)
-    verbose = bool(args.workers or cache_dir or scheduler.journal)
+                          resume=args.resume, batch_size=args.batch_size)
+    verbose = bool(args.workers or args.batch_size > 1 or cache_dir
+                   or scheduler.journal)
     if verbose:
         journal_path = scheduler.journal.path if scheduler.journal \
             else "off"
         print(f"scheduler: workers={args.workers}, "
+              f"batch_size={args.batch_size}, "
               f"cache={cache_dir or 'off'}, journal={journal_path}"
               f"{' (resume)' if args.resume else ''}")
 

@@ -52,13 +52,15 @@ def set_default_scheduler(scheduler):
 
 
 def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
-              resume=False):
+              resume=False, batch_size=1):
     """Install a fresh default scheduler from knob values; returns it.
 
     ``journal_path`` enables the crash-safe run journal there (``resume``
     keeps and replays an existing journal; otherwise a leftover file is
     truncated for a fresh run). ``resume`` alone journals at the default
-    :func:`default_journal_path`.
+    :func:`default_journal_path`. ``batch_size > 1`` coalesces compatible
+    queries into stacked batched propagations (see
+    :class:`CertScheduler`).
     """
     journal = None
     if journal_path or resume:
@@ -67,4 +69,5 @@ def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
     return set_default_scheduler(CertScheduler(workers=workers,
                                                cache_dir=cache_dir,
                                                timeout=timeout,
-                                               journal=journal))
+                                               journal=journal,
+                                               batch_size=batch_size))

@@ -112,6 +112,20 @@ class CertQuery:
                 f"len={len(self.sentence)} iters={self.n_iterations} "
                 f"model={self.model_hash}")
 
+    def batch_key(self):
+        """Coalescing key: queries sharing it may run as one stacked batch.
+
+        Two queries coalesce only when a stacked propagation is
+        well-defined (same weights, same token count so the regions stack,
+        same norm/config so one verifier serves all) and their radius
+        searches run in lockstep (same bracketing parameters). Position
+        and sentence content are deliberately excluded — those vary within
+        a batch.
+        """
+        return (self.verifier, self.model_hash, self.corpus_fingerprint,
+                len(self.sentence), self.p, self.config, self.initial,
+                self.n_iterations)
+
 
 def expand_word_queries(model, sentences, p, *, verifier="deept",
                         config=None, backsub_depth=None, n_positions=1,

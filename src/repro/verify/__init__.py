@@ -12,7 +12,8 @@ from .regions import (
 )
 from .verifier import DeepTVerifier, CertificationResult
 from .radius import (
-    binary_search_radius, max_certified_radius, max_certified_image_radius,
+    binary_search_radius, lockstep_radius_search, max_certified_radius,
+    max_certified_image_radius,
 )
 from .mlp import MlpZonotopeVerifier, propagate_mlp
 
@@ -24,7 +25,7 @@ __all__ = [
     "lp_ball_region", "word_perturbation_region", "synonym_attack_region",
     "image_perturbation_region",
     "DeepTVerifier", "CertificationResult",
-    "binary_search_radius", "max_certified_radius",
-    "max_certified_image_radius",
+    "binary_search_radius", "lockstep_radius_search",
+    "max_certified_radius", "max_certified_image_radius",
     "MlpZonotopeVerifier", "propagate_mlp",
 ]

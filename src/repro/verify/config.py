@@ -46,6 +46,13 @@ class VerifierConfig:
         Hard backstop on the eps-symbol count of any intermediate zonotope
         (``SymbolBudgetExceeded`` on violation); ``None`` disables. Unlike
         ``noise_symbol_cap`` this never reduces — it aborts runaway growth.
+    guard_stride:
+        Run the guard's full finiteness pass only on every N-th checked
+        stage (the O(1) symbol-budget comparison always runs). 1 — the
+        default — checks every stage, preserving the original trip
+        semantics exactly; larger strides trade trip latency for less
+        checking overhead. Guards still never modify the zonotope, so
+        bounds are bitwise identical at any stride.
     degradation_ladder:
         On a guard trip, retry the query down the sound-but-looser ladder
         (precise dot-product -> fast dot-product -> pure interval
@@ -63,9 +70,12 @@ class VerifierConfig:
     reduction_strategy: str = "mass"
     guards: bool = True
     symbol_budget: int = None
+    guard_stride: int = 1
     degradation_ladder: bool = True
 
     def __post_init__(self):
+        if self.guard_stride < 1:
+            raise ValueError("guard_stride must be >= 1")
         if self.dot_product_variant not in ("fast", "precise", "combined"):
             raise ValueError(
                 f"unknown dot_product_variant {self.dot_product_variant!r}")

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..perf import PERF
 from ..trace import TRACER
+from ..zonotope.batch import active_batch
 
 __all__ = [
     "CertificationFault", "NumericalBlowupError", "SymbolBudgetExceeded",
@@ -86,40 +87,74 @@ class PropagationGuard:
         Hard upper bound on the eps-symbol count of any intermediate
         zonotope; ``None`` disables the budget check. (This is a runaway
         backstop, not the per-layer reduction cap — see
-        ``VerifierConfig.noise_symbol_cap`` for the latter.)
+        ``VerifierConfig.noise_symbol_cap`` for the latter.) Under an
+        active batch scope whose ledger frontier matches the zonotope, the
+        budget is applied to each query's *live* symbol count — a stacked
+        pass never trips earlier than its serial equivalents would.
+    stride:
+        Run the full finiteness pass only on every ``stride``-th
+        invocation; the O(1) symbol-budget comparison still runs on every
+        call. The default of 1 preserves the original trip semantics
+        exactly (every stage fully checked).
 
     ``checks`` and ``trips`` count invocations and violations; a tripped
     guard raises, so ``trips`` is 0 or 1 per propagation unless the caller
     swallows the error.
     """
 
-    def __init__(self, symbol_budget=None):
+    def __init__(self, symbol_budget=None, stride=1):
+        if stride < 1:
+            raise ValueError("guard stride must be >= 1")
         self.symbol_budget = symbol_budget
+        self.stride = stride
         self.checks = 0
         self.trips = 0
+
+    @staticmethod
+    def _finite(a):
+        # min and max are both finite iff the block holds no NaN (the
+        # reductions propagate it) and no ±inf — two scalar reductions,
+        # no intermediate bool array and no abs/sum materialization.
+        return a.size == 0 or bool(np.isfinite(a.min())
+                                   and np.isfinite(a.max()))
 
     def check(self, z, stage):
         """Validate one zonotope; raises a typed error on violation.
 
-        Finiteness is checked on the center, the phi block and the eps
-        block's per-variable ℓ1 mass (`eps_l1` is tail-aware, so a lazy eps
-        tail is never densified just to be checked; any non-finite
-        coefficient makes the absolute sum non-finite).
+        Finiteness is checked on the center, the phi block, the dense eps
+        rows and the lazy tail's magnitudes — each via a min/max scalar
+        reduction, so a lazy eps tail is never densified just to be
+        checked and no per-variable mass vector is allocated.
         """
         self.checks += 1
-        if not np.isfinite(z.center).all():
-            self._trip(NumericalBlowupError, stage,
-                       "non-finite zonotope center")
-        if z.n_phi and not np.isfinite(z.phi).all():
-            self._trip(NumericalBlowupError, stage,
-                       "non-finite phi coefficients")
-        if z.n_eps and not np.isfinite(z.eps_l1()).all():
-            self._trip(NumericalBlowupError, stage,
-                       "non-finite eps coefficients")
+        if (self.checks - 1) % self.stride == 0:
+            if not self._finite(z.center):
+                self._trip(NumericalBlowupError, stage,
+                           "non-finite zonotope center")
+            if z.n_phi and not self._finite(z.phi):
+                self._trip(NumericalBlowupError, stage,
+                           "non-finite phi coefficients")
+            if z.n_eps:
+                if not self._finite(z._dense_rows()):
+                    self._trip(NumericalBlowupError, stage,
+                               "non-finite eps coefficients")
+                tail = z._eps_tail
+                if tail is not None and len(tail) \
+                        and not self._finite(tail.mag):
+                    self._trip(NumericalBlowupError, stage,
+                               "non-finite eps tail magnitudes")
         if self.symbol_budget is not None and z.n_eps > self.symbol_budget:
-            self._trip(SymbolBudgetExceeded, stage,
-                       f"{z.n_eps} eps symbols exceed the budget of "
-                       f"{self.symbol_budget}")
+            ledger = active_batch()
+            if ledger is not None and ledger.count == z.n_eps:
+                worst = int(ledger.live_counts().max(initial=0))
+                if worst > self.symbol_budget:
+                    self._trip(SymbolBudgetExceeded, stage,
+                               f"{worst} live eps symbols exceed the "
+                               f"budget of {self.symbol_budget}")
+            else:
+                self._trip(SymbolBudgetExceeded, stage,
+                           f"{z.n_eps} eps symbols exceed the budget of "
+                           f"{self.symbol_budget}")
         return z
 
     def _trip(self, error, stage, detail):

@@ -3,10 +3,14 @@
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
 from .numeric import (PROPAGATION_ERRSTATE, propagation_errstate,
                       under_propagation_errstate)
-from .storage import (EpsBuffer, EpsTail, dense_engine, fast_path_enabled,
-                      set_fast_path)
+from .storage import (BatchedEpsTail, EpsBuffer, EpsCapacityPool, EpsTail,
+                      capacity_pool, dense_engine, fast_path_enabled,
+                      reset_capacity_pool, set_fast_path)
+from .batch import (BatchAliasingError, QueryBatchLedger, active_batch,
+                    batch_scope, batched_margins, stack_regions)
 from . import elementwise
 from .elementwise import relu, tanh, exp, reciprocal, rsqrt, sigmoid, gelu
+from .fused import fused_affine_response, fused_layer_norm
 from .dotproduct import zonotope_matmul, zonotope_multiply, DotProductConfig
 from .softmax import softmax
 from .refinement import (
@@ -20,10 +24,13 @@ __all__ = [
     "MultiNormZonotope", "dual_exponent", "norm_along_axis0",
     "PROPAGATION_ERRSTATE", "propagation_errstate",
     "under_propagation_errstate",
-    "EpsBuffer", "EpsTail", "dense_engine", "fast_path_enabled",
-    "set_fast_path",
+    "EpsBuffer", "EpsTail", "BatchedEpsTail", "EpsCapacityPool",
+    "capacity_pool", "reset_capacity_pool", "dense_engine",
+    "fast_path_enabled", "set_fast_path",
+    "BatchAliasingError", "QueryBatchLedger", "active_batch", "batch_scope",
+    "batched_margins", "stack_regions",
     "elementwise", "relu", "tanh", "exp", "reciprocal", "rsqrt",
-    "sigmoid", "gelu",
+    "sigmoid", "gelu", "fused_affine_response", "fused_layer_norm",
     "zonotope_matmul", "zonotope_multiply", "DotProductConfig",
     "softmax", "EpsRewrite", "apply_eps_rewrites", "refine_softmax_rows",
     "minimize_coefficient_mass",

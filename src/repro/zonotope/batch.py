@@ -1,0 +1,197 @@
+"""Cross-query batching: one stacked propagation for N perturbation regions.
+
+The Table-1 workload certifies many perturbation regions of one frozen
+model; serial certification pays a full kernel-dispatch pass per region.
+Stacking regions along a leading batch axis turns N propagations into one
+pass over ``(B, *S)``-shaped tensors, amortizing every numpy dispatch.
+
+Soundness hinges on keeping the queries' noise symbols disjoint.  The
+stacked coefficient blocks are block-diagonal across queries *by
+construction*: every abstract transformer is batch-local (it never mixes
+the leading variable axis), and fresh symbols are appended through
+:class:`~repro.zonotope.storage.BatchedEpsTail`, whose slot ``s`` carries
+query ``b``'s magnitude in ``mag[s, b]`` — a query that appends nothing at
+that program point simply holds a zero there.
+
+:class:`QueryBatchLedger` records which (slot, query) pairs hold real
+symbols.  Its ``append`` asserts the appender sits at the global symbol
+frontier — the PR-1 aliasing bug class (two transformers appending fresh
+symbols at the same index) raises :class:`BatchAliasingError` instead of
+silently correlating unrelated noise terms.
+
+Bitwise equivalence with the serial engine is maintained by gathering a
+query's *live* rows before any reduction that numpy computes with pairwise
+summation over the symbol axis (interval margins, softmax-sum refinement,
+symbol reduction); see ``tests/test_batched_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from .numeric import propagation_errstate
+
+__all__ = ["BatchAliasingError", "QueryBatchLedger", "active_batch",
+           "batch_scope", "stack_regions", "batched_margins"]
+
+
+class BatchAliasingError(RuntimeError):
+    """A transformer tried to append fresh symbols off the global frontier.
+
+    Serial propagation keeps a single monotonically growing symbol space;
+    appending at an index below the frontier would alias an existing
+    symbol of another zonotope (the PR-1 bug class). The batched ledger
+    makes that structurally impossible by refusing the append.
+    """
+
+
+class QueryBatchLedger:
+    """Per-(slot, query) liveness for one batched propagation.
+
+    ``count`` is the global eps-symbol frontier; ``live_matrix()`` is the
+    ``(count, batch)`` bool mask of which queries own a real symbol in each
+    slot. Reduction rebases the ledger when it rebuilds the symbol space.
+    """
+
+    __slots__ = ("batch", "_blocks", "count")
+
+    def __init__(self, batch):
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.batch = int(batch)
+        self._blocks = []
+        self.count = 0
+
+    def append(self, live_block, at_count):
+        """Record fresh slots appended at symbol index ``at_count``."""
+        live_block = np.asarray(live_block, dtype=bool)
+        if live_block.ndim != 2 or live_block.shape[1] != self.batch:
+            raise ValueError(
+                f"live block shape {live_block.shape} does not match "
+                f"batch {self.batch}")
+        if at_count != self.count:
+            raise BatchAliasingError(
+                f"fresh symbols appended at index {at_count} but the "
+                f"global frontier is {self.count}: the appending zonotope "
+                f"is not at the symbol frontier")
+        self._blocks.append(live_block)
+        self.count += live_block.shape[0]
+
+    def live_matrix(self):
+        """``(count, batch)`` liveness mask, in slot order."""
+        if not self._blocks:
+            return np.zeros((0, self.batch), dtype=bool)
+        if len(self._blocks) > 1:
+            self._blocks = [np.concatenate(self._blocks, axis=0)]
+        return self._blocks[0]
+
+    def live_counts(self):
+        """Per-query count of real symbols (the serial ``n_eps``)."""
+        return self.live_matrix().sum(axis=0)
+
+    def rebase(self, live):
+        """Replace the symbol space (after noise-symbol reduction)."""
+        live = np.asarray(live, dtype=bool)
+        if live.ndim != 2 or live.shape[1] != self.batch:
+            raise ValueError("rebase mask must be (count, batch)")
+        self._blocks = [live]
+        self.count = live.shape[0]
+
+
+class _BatchState:
+    __slots__ = ("ledger",)
+
+    def __init__(self):
+        self.ledger = None
+
+
+_ACTIVE = _BatchState()
+
+
+def active_batch():
+    """The ledger of the enclosing :func:`batch_scope`, or ``None``."""
+    return _ACTIVE.ledger
+
+
+@contextmanager
+def batch_scope(ledger):
+    """Run a batched propagation: fresh-eps appends go through ``ledger``."""
+    previous = _ACTIVE.ledger
+    _ACTIVE.ledger = ledger
+    try:
+        yield ledger
+    finally:
+        _ACTIVE.ledger = previous
+
+
+def stack_regions(regions):
+    """Stack serial input regions into one batched zonotope.
+
+    All regions must share the variable shape, the norm ``p`` and the
+    symbol counts (same threat model over same-length sentences). Returns
+    ``(stacked, ledger)``; the initial symbols are live for every query
+    because each region contributes its own coefficients to every slot.
+    """
+    from .multinorm import MultiNormZonotope
+
+    if not regions:
+        raise ValueError("nothing to stack")
+    first = regions[0]
+    for region in regions[1:]:
+        if (region.shape != first.shape or region.p != first.p
+                or region.n_phi != first.n_phi
+                or region.n_eps != first.n_eps):
+            raise ValueError(
+                "regions must share shape, p and symbol counts to batch; "
+                f"got {region!r} vs {first!r}")
+    center = np.stack([region.center for region in regions], axis=0)
+    phi = np.stack([region.phi for region in regions], axis=1)
+    eps = np.stack([region.eps for region in regions], axis=1)
+    stacked = MultiNormZonotope(center, phi, eps, first.p)
+    ledger = QueryBatchLedger(len(regions))
+    if first.n_eps:
+        ledger.append(np.ones((first.n_eps, len(regions)), dtype=bool),
+                      at_count=0)
+    return stacked, ledger
+
+
+def batched_margins(logits, true_labels, ledger):
+    """Per-query worst classification margins of batched ``(B, C)`` logits.
+
+    Replays the serial margin check exactly: for each query the live eps
+    rows are gathered first, so the pairwise summation over the symbol
+    axis sees the same operand sequence as ``(logits[t] - logits[o])
+    .bounds()`` does serially — dead slots would otherwise change the
+    pairwise reduction tree and break bitwise equality. NaN margins
+    (overflowed affine forms) degrade to -inf, as in serial ``bounds()``.
+    """
+    from .multinorm import norm_along_axis0
+
+    live = ledger.live_matrix()
+    center = logits.center
+    phi = logits.phi
+    eps = logits.eps                       # densifies any lazy tail
+    q = logits.q
+    n_classes = logits.shape[-1]
+    worsts = np.empty(ledger.batch)
+    with propagation_errstate():
+        for b in range(ledger.batch):
+            true = int(true_labels[b])
+            rows = np.flatnonzero(live[:, b])
+            margins = []
+            for other in range(n_classes):
+                if other == true:
+                    continue
+                diff_center = center[b, true] - center[b, other]
+                diff_phi = phi[:, b, true] - phi[:, b, other]
+                diff_eps = eps[rows, b, true] - eps[rows, b, other]
+                spread = (norm_along_axis0(diff_phi, q)
+                          + np.abs(diff_eps).sum())
+                lower = diff_center - spread
+                if np.isnan(lower):
+                    lower = -np.inf
+                margins.append(float(lower))
+            worsts[b] = min(margins)
+    return worsts

@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from ..trace import TRACER
+from .batch import active_batch
 from .multinorm import MultiNormZonotope, dual_exponent, norm_along_axis0
 from .numeric import under_propagation_errstate
 from .storage import fast_path_enabled
@@ -144,6 +145,30 @@ def _precise_eps_bounds_batched(x_eps, y_eps, block=8):
             upper.reshape(batch_shape + (n, m)))
 
 
+def _precise_eps_bounds_per_query(x, y, ledger):
+    """Eq. (6) bounds inside a batch scope, query by query.
+
+    The pairwise analysis sums |M_ab| over the *last* tensor axes, which
+    numpy computes with pairwise summation — interleaved dead-slot zeros
+    would change the reduction tree and break bitwise equality with the
+    serial engine. Gathering each query's live rows first makes the 2D
+    routine see exactly the operands the serial propagation sees.
+    """
+    if x.n_eps > ledger.count or y.n_eps > ledger.count:
+        raise RuntimeError(
+            f"zonotope has {max(x.n_eps, y.n_eps)} eps symbols but the "
+            f"batch ledger frontier is {ledger.count}")
+    live = ledger.live_matrix()[:x.n_eps]
+    x_eps, y_eps = x.eps, y.eps            # (E, B, ..., n, k) / (..., k, m)
+    lower = np.zeros(x.shape[:-1] + (y.shape[-1],))
+    upper = np.zeros_like(lower)
+    for b in range(ledger.batch):
+        rows = np.flatnonzero(live[:, b])
+        lower[b], upper[b] = _precise_eps_bounds_batched(
+            x_eps[rows, b], y_eps[rows, b])
+    return lower, upper
+
+
 def _quadratic_bounds(x, y, config):
     """Interval bounds of the full quadratic interaction term, per output.
 
@@ -176,37 +201,17 @@ def _quadratic_bounds(x, y, config):
     # eps-eps: fast cascade or the precise pairwise analysis.
     if x.n_eps and y.n_eps:
         if config.variant == "precise":
-            l_ee, u_ee = _precise_eps_bounds_batched(x.eps, y.eps)
+            ledger = active_batch()
+            if ledger is not None:
+                l_ee, u_ee = _precise_eps_bounds_per_query(x, y, ledger)
+            else:
+                l_ee, u_ee = _precise_eps_bounds_batched(x.eps, y.eps)
         else:
             b_ee = _fast_case_bound(y.eps, 1.0, x.eps, 1.0, "row-col")
             l_ee, u_ee = -b_ee, b_ee
         lower = lower + l_ee
         upper = upper + u_ee
     return lower, upper
-
-
-def _tail_cross_scatter(out, row_offset, tail, shape, other_center, side):
-    """Exact affine cross rows for lazy-tail symbols, in O(T·m) total.
-
-    A tail symbol touches exactly one operand variable, so its cross-term
-    row is a scaled slice of the other operand's center: for ``side="x"``
-    a symbol at (..., i, t) of magnitude b contributes ``b * y.center[...,
-    t, :]`` to output row (..., i, :); for ``side="y"`` a symbol at
-    (..., t, j) contributes ``b * x.center[..., :, t]`` to (..., :, j).
-    Scattering these rows directly skips the dense cross einsum over the
-    (usually huge) tail block.
-    """
-    multi = np.unravel_index(tail.idx, shape)
-    rows = row_offset + np.arange(len(tail))
-    if side == "x":
-        *batch, i_idx, t_idx = multi
-        vals = tail.mag[:, None] * other_center[(*batch, t_idx)]
-        out[(rows, *batch, i_idx)] += vals
-    else:
-        *batch, t_idx, j_idx = multi
-        center_t = np.swapaxes(other_center, -1, -2)
-        vals = tail.mag[:, None] * center_t[(*batch, t_idx)]
-        out[(rows, *batch, slice(None), j_idx)] += vals
 
 
 def _matmul_fast_path(x, y, config):
@@ -243,12 +248,12 @@ def _matmul_fast_path(x, y, config):
         eps[:cx] += np.einsum("e...nk,...km->e...nm", x._dense_rows(),
                               y.center)
     if x._eps_tail is not None and len(x._eps_tail):
-        _tail_cross_scatter(eps, cx, x._eps_tail, x.shape, y.center, "x")
+        x._eps_tail.scatter_cross(eps, cx, x.shape, y.center, "x")
     if cy:
         eps[:cy] += np.einsum("...nk,e...km->e...nm", x.center,
                               y._dense_rows())
     if y._eps_tail is not None and len(y._eps_tail):
-        _tail_cross_scatter(eps, cy, y._eps_tail, y.shape, x.center, "y")
+        y._eps_tail.scatter_cross(eps, cy, y.shape, x.center, "y")
 
     q = x.q
     bound = np.zeros(out_shape)

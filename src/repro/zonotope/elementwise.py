@@ -29,7 +29,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..trace import traced
+from .fused import fused_affine_response
 from .numeric import under_propagation_errstate
+from .storage import fast_path_enabled
 
 __all__ = ["relu", "tanh", "exp", "reciprocal", "rsqrt", "sigmoid",
            "gelu", "affine_response"]
@@ -45,8 +47,11 @@ def affine_response(x, lam, mu, beta_new, tol=0.0):
     """Assemble ``y = lam*x + mu + beta_new*eps_new`` for arrays of params.
 
     Runs through :meth:`MultiNormZonotope.affine_image`, which rescales a
-    lazy eps tail in O(symbols) instead of densifying it.
+    lazy eps tail in O(symbols) instead of densifying it. On the
+    structured engine the two links are fused into one pass.
     """
+    if fast_path_enabled():
+        return fused_affine_response(x, lam, mu, beta_new, tol=tol)
     return x.affine_image(lam, mu).append_fresh_eps(beta_new, tol=tol)
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..trace import TRACER
+from .batch import active_batch
 from .multinorm import MultiNormZonotope
 
 __all__ = ["EpsRewrite", "apply_eps_rewrites", "refine_softmax_rows",
@@ -55,11 +56,18 @@ _SHRINK_TOL = 1e-6
 
 @dataclass(frozen=True)
 class EpsRewrite:
-    """Replace eps symbol ``index`` by ``mid + half * eps_fresh``."""
+    """Replace eps symbol ``index`` by ``mid + half * eps_fresh``.
+
+    ``query`` is ``None`` for serial rewrites; in a batched propagation it
+    names the query whose symbol was tightened, and the rewrite applies
+    only to that query's block of the stacked variable axis (other queries
+    share the slot but own independent symbols).
+    """
 
     index: int
     mid: float
     half: float
+    query: int = None
 
 
 def apply_eps_rewrites(zonotope, rewrites):
@@ -68,7 +76,9 @@ def apply_eps_rewrites(zonotope, rewrites):
     For each rewrite, the center absorbs ``coeff * mid`` and the symbol's
     coefficient row is scaled by ``half``; the row then represents the
     fresh [-1, 1] symbol. Symbol indices beyond the zonotope's eps block
-    (fresh symbols it never saw) are ignored.
+    (fresh symbols it never saw) are ignored. Batched rewrites touch only
+    the owning query's slice of the leading (batch-carrying) variable
+    axis.
     """
     if not rewrites:
         return zonotope
@@ -77,9 +87,20 @@ def apply_eps_rewrites(zonotope, rewrites):
     for rewrite in rewrites:
         if rewrite.index >= eps.shape[0]:
             continue
-        row = eps[rewrite.index]
-        center += row * rewrite.mid
-        eps[rewrite.index] = row * rewrite.half
+        if rewrite.query is None:
+            row = eps[rewrite.index]
+            center += row * rewrite.mid
+            eps[rewrite.index] = row * rewrite.half
+        else:
+            ledger = active_batch()
+            if ledger is None:
+                raise RuntimeError(
+                    "per-query eps rewrite applied outside a batch scope")
+            width = zonotope.shape[0] // ledger.batch
+            block = slice(rewrite.query * width, (rewrite.query + 1) * width)
+            row = eps[rewrite.index, block]
+            center[block] += row * rewrite.mid
+            eps[rewrite.index, block] = row * rewrite.half
     return MultiNormZonotope(center, zonotope.phi, eps, zonotope.p)
 
 
@@ -140,6 +161,44 @@ def _minimize_scalar(r, s, is_phi):
     return candidate if objective(candidate) < objective(0.0) else 0.0
 
 
+def _minimize_mass_groups(r, s, is_phi):
+    """Step 1 over a *group* of softmax rows with equal active-set sizes.
+
+    ``r``: (R, Ta, m) stacked per-row coefficient gathers; ``s``: (R, Ta)
+    stacked D coefficients; ``is_phi``: (Ta,) — identical across the group
+    because every row gathers ``len(phi_active)`` phi entries first. Each
+    lane computation (argsort, cumsum, last-/middle-axis sums) reduces
+    per-row in exactly the order of the 2D routine, so the returned
+    (R, m) choices are bitwise what :func:`_minimize_mass_rows` yields
+    row by row.
+    """
+    n_rows, n_active, n_vars = r.shape
+    breaks = -r / s[:, :, None]                  # (R, Ta, m)
+    weights = np.abs(s)                          # (R, Ta)
+
+    order = np.argsort(breaks, axis=1)
+    sorted_breaks = np.take_along_axis(breaks, order, axis=1)
+    sorted_weights = np.take_along_axis(
+        np.broadcast_to(weights[:, :, None], breaks.shape), order, axis=1)
+    sorted_is_phi = is_phi[order]
+    cumulative = (-weights.sum(axis=1)[:, None, None]
+                  + 2.0 * np.cumsum(sorted_weights, axis=1))
+    opt_pos = np.minimum((cumulative < 0).sum(axis=1), n_active - 1)
+
+    rows_ix = np.arange(n_rows)[:, None]
+    cols_ix = np.arange(n_vars)[None, :]
+    chosen = sorted_breaks[rows_ix, opt_pos, cols_ix]
+    phi_hit = sorted_is_phi[rows_ix, opt_pos, cols_ix]
+
+    mass_at = np.abs(r + s[:, :, None] * chosen[:, None, :]).sum(axis=1)
+    mass_at_zero = np.abs(r).sum(axis=1)
+    result = np.where(mass_at < mass_at_zero, chosen, 0.0)
+
+    for row, col in zip(*np.nonzero(phi_hit)):
+        result[row, col] = _minimize_scalar(r[row, :, col], s[row], is_phi)
+    return result
+
+
 def _minimize_mass_rows(r, s, is_phi):
     """Vectorized step 1 over the ``m`` variables of one softmax row.
 
@@ -181,19 +240,24 @@ def _minimize_mass_rows(r, s, is_phi):
     return result
 
 
-def _tightenings_from_constraint(d_center, d_phi_mass, d_eps):
+def _tightenings_from_constraint(d_center, d_phi_mass, d_eps, live_idx=None):
     """Step 2: per-symbol range restrictions from ``D = 0``.
 
     Solving ``0 = c_D + alpha_D.phi + beta_D.eps`` for ``eps_m`` restricts
     its range to ``[(-c_D - R_m)/beta_m, (-c_D + R_m)/beta_m]`` (sorted),
     where ``R_m`` is the dual-norm mass of the remaining terms. Returns a
-    dict ``index -> (a, b)`` intersected with [-1, 1].
+    dict ``index -> (a, b)`` intersected with [-1, 1]. ``live_idx``
+    (batched propagation) restricts the total-mass sum to the owning
+    query's live slots so the pairwise summation sees the serial operand
+    sequence.
     """
     abs_coeffs = np.abs(d_eps)
     significant = np.flatnonzero(abs_coeffs > _PIVOT_TOL)
     if not len(significant):
         return {}
-    rest = d_phi_mass + abs_coeffs.sum() - abs_coeffs[significant]
+    total = (abs_coeffs.sum() if live_idx is None
+             else abs_coeffs[live_idx].sum())
+    rest = d_phi_mass + total - abs_coeffs[significant]
     a = (-d_center - rest) / d_eps[significant]
     b = (-d_center + rest) / d_eps[significant]
     lo = np.maximum(np.minimum(a, b), -1.0)
@@ -220,12 +284,135 @@ def refine_softmax_rows(z):
     return out, rewrites
 
 
+# Upper bound on stacked slope-walk temporaries (elements per chunk): keeps
+# the grouped refinement's working set around a few MB regardless of batch
+# size or symbol cap.
+_GROUP_CHUNK_ELEMS = 1 << 21
+
+
+def _refine_group_step1(center, phi, eps, d_phi_all, d_eps_all,
+                        d_center_all, row_list, len_phi, len_eps, n_vars):
+    """Step 1 for one chunk of rows sharing active-set sizes, in place.
+
+    Every gather is index-pure and ``np.nonzero`` on the (rows, symbols)
+    mask emits row-major pairs, i.e. exactly each row's ``flatnonzero``
+    order; the flat (symbol, row) scatter pairs are unique, so the fancy
+    in-place adds perform exactly one per-element ``+=`` — the same
+    arithmetic as the per-row ``np.outer`` updates.
+    """
+    rows = np.asarray(row_list)
+    local_p, pt = np.nonzero(d_phi_all[:, rows].T)
+    local_e, et = np.nonzero(d_eps_all[:, rows].T)
+    prow = rows[local_p]
+    erow = rows[local_e]
+    r_grp = np.concatenate([
+        phi[pt, prow].reshape(len(rows), len_phi, n_vars),
+        eps[et, erow].reshape(len(rows), len_eps, n_vars)], axis=1)
+    s_grp = np.concatenate([
+        d_phi_all[pt, prow].reshape(len(rows), len_phi),
+        d_eps_all[et, erow].reshape(len(rows), len_eps)], axis=1)
+    is_phi = np.concatenate([np.ones(len_phi, dtype=bool),
+                             np.zeros(len_eps, dtype=bool)])
+    if len(rows) == 1:
+        values = _minimize_mass_rows(r_grp[0], s_grp[0], is_phi)[None]
+    else:
+        values = _minimize_mass_groups(r_grp, s_grp, is_phi)
+
+    center[rows] += values * d_center_all[rows, None]
+    if len_phi:
+        phi[pt, prow] += (s_grp[:, :len_phi].reshape(-1, 1)
+                          * values[local_p])
+    if len_eps:
+        eps[et, erow] += (s_grp[:, len_phi:].reshape(-1, 1)
+                          * values[local_e])
+
+
+def _combined_tightenings(refinable, d_center_all, d_phi_mass_all,
+                          d_eps_all, rows_per_query, live_idx_of, ledger):
+    """Step 2 over all refinable rows: intersected per-symbol ranges.
+
+    Stacked evaluation of :func:`_tightenings_from_constraint`'s
+    arithmetic, grouped by significant-symbol count; the per-element
+    operations and the per-row (pairwise) mass sums are identical, so the
+    intervals are bitwise the per-row results. Interval intersection
+    (max/min) is commutative, so grouping never changes the outcome.
+    """
+    combined = {}
+    if not len(refinable):
+        return combined
+    # C-contiguous rows: the per-row mass sums must reduce over a
+    # contiguous axis so numpy applies the same pairwise summation the
+    # per-row routine sees on its freshly-allocated |d_eps| vectors.
+    abs_all = np.ascontiguousarray(np.abs(d_eps_all[:, refinable]).T)
+    sig_mask = abs_all > _PIVOT_TOL
+    owners = [int(i) // rows_per_query for i in refinable]
+    if ledger is None:
+        totals = abs_all.sum(axis=1)
+    else:
+        # Live-slot-gathered masses, grouped by live count so each group
+        # is one contiguous (rows, L) gather + pairwise row sum — bitwise
+        # the per-row ``abs[live_idx].sum()``.
+        totals = np.empty(len(refinable))
+        live_groups = {}
+        for r, owner in enumerate(owners):
+            live_groups.setdefault(len(live_idx_of[owner]), []).append(r)
+        for live_count, members in live_groups.items():
+            members = np.asarray(members)
+            if not live_count:
+                totals[members] = 0.0
+                continue
+            idx = np.stack([live_idx_of[owners[r]] for r in members])
+            totals[members] = abs_all[members[:, None], idx].sum(axis=1)
+    sig_groups = {}
+    for r, count in enumerate(sig_mask.sum(axis=1)):
+        if count:
+            sig_groups.setdefault(int(count), []).append(r)
+    for count, member_list in sig_groups.items():
+        members = np.asarray(member_list)
+        sig_idx = np.nonzero(sig_mask[members])[1].reshape(-1, count)
+        rows = refinable[members]
+        abs_sig = abs_all[members[:, None], sig_idx]
+        d_eps_sig = d_eps_all[sig_idx, rows[:, None]]
+        rest = ((d_phi_mass_all[rows] + totals[members])[:, None]
+                - abs_sig)
+        neg_center = -d_center_all[rows][:, None]
+        a = (neg_center - rest) / d_eps_sig
+        b = (neg_center + rest) / d_eps_sig
+        lo = np.maximum(np.minimum(a, b), -1.0)
+        hi = np.minimum(np.maximum(a, b), 1.0)
+        keep = hi - lo < 2.0 - _SHRINK_TOL
+        for local, k in zip(*np.nonzero(keep)):
+            key = (owners[members[local]], int(sig_idx[local, k]))
+            pair = (float(lo[local, k]), float(hi[local, k]))
+            if key in combined:
+                prev_lo, prev_hi = combined[key]
+                combined[key] = (max(pair[0], prev_lo),
+                                 min(pair[1], prev_hi))
+            else:
+                combined[key] = pair
+    return combined
+
+
 def _refine_impl(z):
     center = z.center.copy()
     phi = z.phi.copy()
     eps = z.eps.copy()
     n_phi = z.n_phi
     from .multinorm import norm_along_axis0
+
+    # In a batched propagation the flattened softmax rows are
+    # query-contiguous: row i belongs to query i // rows_per_query, and
+    # symbol tightenings must stay per-query (queries share symbol slots
+    # but own independent symbols).
+    ledger = active_batch()
+    if ledger is not None:
+        rows_per_query = z.shape[0] // ledger.batch
+        live = ledger.live_matrix()[:z.n_eps]
+        live_idx_of = [np.flatnonzero(live[:, b])
+                       for b in range(ledger.batch)]
+    else:
+        rows_per_query = z.shape[0]
+        live_idx_of = [None]
 
     # Affine form of every row's D at once; each row then gathers only the
     # symbols that actually touch it (the per-row sparsity is what makes
@@ -236,47 +423,60 @@ def _refine_impl(z):
     d_phi_mass_all = (norm_along_axis0(d_phi_all, z.q)
                       if n_phi else np.zeros(z.shape[0]))
 
-    combined = {}
-    for i in range(z.shape[0]):
-        d_center = d_center_all[i]
-        d_phi = d_phi_all[:, i]
-        d_eps = d_eps_all[:, i]
-        if np.abs(d_eps).max(initial=0.0) <= _PIVOT_TOL:
-            continue
+    # Step 1, grouped: rows with equal (|phi_active|, |eps_active|) share
+    # one stacked slope-walk (:func:`_minimize_mass_groups`) and one flat
+    # fancy-indexed gather/scatter. Grouping is safe because step 1 only
+    # touches row ``i``'s own slices and step 2 reads the *original* D
+    # forms — rows never observe each other, so evaluation order is free;
+    # and step 2's interval intersection (max/min) is commutative. Every
+    # gather is index-pure and ``np.nonzero`` on the (rows, symbols) mask
+    # emits row-major pairs, i.e. exactly each row's ``flatnonzero`` order.
+    refinable = np.flatnonzero(
+        np.abs(d_eps_all).max(axis=0, initial=0.0) > _PIVOT_TOL)
+    n_vars = z.shape[1]
 
-        # Step 1: per-variable mass-minimizing combination with D,
-        # restricted to the symbols with a nonzero D coefficient.
-        phi_active = np.flatnonzero(d_phi)
-        eps_active = np.flatnonzero(d_eps)
-        r = np.concatenate([phi[phi_active, i], eps[eps_active, i]], axis=0)
-        s = np.concatenate([d_phi[phi_active], d_eps[eps_active]])
-        is_phi = np.concatenate([np.ones(len(phi_active), dtype=bool),
-                                 np.zeros(len(eps_active), dtype=bool)])
-        s_values = _minimize_mass_rows(r, s, is_phi)
-        center[i] += s_values * d_center
-        if len(phi_active):
-            phi[phi_active, i] += np.outer(d_phi[phi_active], s_values)
-        eps[eps_active, i] += np.outer(d_eps[eps_active], s_values)
+    groups = {}
+    if len(refinable):
+        phi_counts = np.count_nonzero(d_phi_all[:, refinable], axis=0)
+        eps_counts = np.count_nonzero(d_eps_all[:, refinable], axis=0)
+        for row, lp, le in zip(refinable, phi_counts, eps_counts):
+            groups.setdefault((int(lp), int(le)), []).append(int(row))
 
-        # Step 2: symbol tightenings from D = 0 (D is unchanged by step 1
-        # on the constraint set, and its affine form is fixed).
-        for idx, (lo, hi) in _tightenings_from_constraint(
-                d_center, d_phi_mass_all[i], d_eps).items():
-            if idx in combined:
-                prev_lo, prev_hi = combined[idx]
-                combined[idx] = (max(lo, prev_lo), min(hi, prev_hi))
-            else:
-                combined[idx] = (lo, hi)
+    for (len_phi, len_eps), row_list in groups.items():
+        # Chunk wide groups so the stacked (rows, active, vars) slope-walk
+        # temporaries stay cache-sized — each row's computation is
+        # independent, so chunking never changes a bit, only the peak
+        # working set (a stacked batch at a large symbol cap would
+        # otherwise materialize hundreds of MB and thrash).
+        per_row = max(1, (len_phi + len_eps) * n_vars)
+        chunk = max(1, _GROUP_CHUNK_ELEMS // per_row)
+        for start in range(0, len(row_list), chunk):
+            _refine_group_step1(center, phi, eps, d_phi_all, d_eps_all,
+                                d_center_all, row_list[start:start + chunk],
+                                len_phi, len_eps, n_vars)
+
+    # Step 2: symbol tightenings from D = 0 (D is unchanged by step 1 on
+    # the constraint set, and its affine form is fixed). Rows with equal
+    # significant-symbol counts share one stacked evaluation of
+    # :func:`_tightenings_from_constraint`'s arithmetic; the per-element
+    # operations and the per-row (pairwise) mass sums are identical, so
+    # the intervals are bitwise the per-row results.
+    combined = _combined_tightenings(refinable, d_center_all, d_phi_mass_all,
+                                     d_eps_all, rows_per_query, live_idx_of,
+                                     ledger)
 
     rewrites = []
-    for idx, (lo, hi) in sorted(combined.items()):
+    for (owner, idx), (lo, hi) in sorted(combined.items()):
         if hi < lo:  # numerically empty; collapse to the midpoint
             lo = hi = 0.5 * (lo + hi)
-        rewrites.append(EpsRewrite(index=idx, mid=0.5 * (lo + hi),
-                                   half=0.5 * (hi - lo)))
+        rewrites.append(EpsRewrite(
+            index=idx, mid=0.5 * (lo + hi), half=0.5 * (hi - lo),
+            query=owner if ledger is not None else None))
         # Applied in place on the copied arrays (same update
-        # apply_eps_rewrites performs, minus a second full-block copy).
-        row = eps[idx]
-        center += row * rewrites[-1].mid
-        eps[idx] = row * rewrites[-1].half
+        # apply_eps_rewrites performs, minus a second full-block copy),
+        # restricted to the owning query's contiguous row block.
+        block = slice(owner * rows_per_query, (owner + 1) * rows_per_query)
+        row = eps[idx, block]
+        center[block] += row * rewrites[-1].mid
+        eps[idx, block] = row * rewrites[-1].half
     return MultiNormZonotope(center, phi, eps, z.p), rewrites

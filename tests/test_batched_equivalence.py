@@ -1,0 +1,219 @@
+"""Batched engine vs looped serial: bitwise identity, not closeness.
+
+The stacked cross-query engine promises *bitwise* identical results to
+certifying each region in its own serial pass — the batch axis must never
+mix queries and every reduction must see, per query, the same operand
+sequence as the serial engine (numpy's pairwise summation makes even
+reordered additions observable). These tests pin that promise at three
+levels:
+
+* propagation — per-query slices of the stacked logits (center, phi, live
+  eps rows) equal the serial propagation arrays bit for bit, for batch
+  sizes 1/2/7, both dot-product variants, softmax-sum refinement on and
+  off, and under aggressive DecorrelateMin_k reduction;
+* verification — ``certify_regions_batched`` margins equal looped
+  ``certify_region`` margins exactly, and the scheduler's coalescing over
+  ragged token lengths (which must group, never mix) returns radii
+  identical to the serial scheduler;
+* bookkeeping — appending fresh symbols off the global frontier raises
+  :class:`BatchAliasingError` (the aliasing bug class is structurally
+  impossible), and the grouped softmax-refinement kernel matches the
+  per-row oracle exactly on random inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import CertScheduler, expand_word_queries, \
+    model_weight_hash
+from repro.verify import FAST, PRECISE, DeepTVerifier
+from repro.verify.propagation import propagate_classifier
+from repro.verify.regions import word_perturbation_region
+from repro.zonotope import (BatchAliasingError, QueryBatchLedger,
+                            batch_scope, batched_margins, stack_regions)
+from repro.zonotope.refinement import (_minimize_mass_groups,
+                                       _minimize_mass_rows)
+
+BATCH_SIZES = [1, 2, 7]
+
+
+def make_regions(model, sentence, n, p=2.0):
+    """n distinct word-ball queries over one sentence (positions+radii)."""
+    return [word_perturbation_region(model, sentence,
+                                     1 + (i % (len(sentence) - 1)),
+                                     0.01 + 0.002 * i, p)
+            for i in range(n)]
+
+
+def propagate_batched(model, regions, config):
+    stacked, ledger = stack_regions(regions)
+    with batch_scope(ledger):
+        logits = propagate_classifier(model, stacked, config)
+    return logits, ledger
+
+
+def assert_query_slices_bitwise(batched, ledger, serial_outputs):
+    """Each query's slice of the stacked arrays equals its serial run."""
+    live = ledger.live_matrix()
+    eps = batched.eps                       # densify the lazy tail once
+    for b, serial in enumerate(serial_outputs):
+        rows = np.flatnonzero(live[:, b])
+        assert np.array_equal(batched.center[b], serial.center)
+        assert np.array_equal(batched.phi[:, b], serial.phi)
+        assert len(rows) == serial.n_eps, \
+            f"query {b}: {len(rows)} live slots vs serial {serial.n_eps}"
+        assert np.array_equal(eps[rows, b], serial.eps)
+
+
+def serial_worst_margin(logits, true_label):
+    """The serial margin check, verbatim (see ``_certify_region_once``)."""
+    return min(float((logits[true_label] - logits[other]).bounds()[0])
+               for other in range(logits.shape[-1]) if other != true_label)
+
+
+class TestStackedPropagationBitwise:
+    """Per-query slices of one stacked pass equal N serial passes."""
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_fast_variant(self, tiny_model, tiny_sentence, batch):
+        config = FAST(noise_symbol_cap=48)
+        regions = make_regions(tiny_model, tiny_sentence, batch)
+        serial = [propagate_classifier(tiny_model, region, config)
+                  for region in regions]
+        batched, ledger = propagate_batched(tiny_model, regions, config)
+        assert_query_slices_bitwise(batched, ledger, serial)
+
+        label = tiny_model.predict(tiny_sentence)
+        worsts = batched_margins(batched, [label] * batch, ledger)
+        for b, logits in enumerate(serial):
+            assert worsts[b] == serial_worst_margin(logits, label)
+
+    def test_precise_variant(self, tiny_model, tiny_sentence):
+        config = PRECISE(noise_symbol_cap=32)
+        regions = make_regions(tiny_model, tiny_sentence, 2)
+        serial = [propagate_classifier(tiny_model, region, config)
+                  for region in regions]
+        batched, ledger = propagate_batched(tiny_model, regions, config)
+        assert_query_slices_bitwise(batched, ledger, serial)
+
+    def test_refinement_off(self, tiny_model, tiny_sentence):
+        config = FAST(noise_symbol_cap=48, softmax_sum_refinement=False)
+        regions = make_regions(tiny_model, tiny_sentence, 2)
+        serial = [propagate_classifier(tiny_model, region, config)
+                  for region in regions]
+        batched, ledger = propagate_batched(tiny_model, regions, config)
+        assert_query_slices_bitwise(batched, ledger, serial)
+
+    def test_aggressive_decorrelation(self, tiny_model, tiny_sentence):
+        # A tiny cap forces DecorrelateMin_k at every layer input, the
+        # operation whose per-query symbol selection is most sensitive to
+        # cross-query leakage.
+        config = FAST(noise_symbol_cap=16)
+        regions = make_regions(tiny_model, tiny_sentence, 3)
+        serial = [propagate_classifier(tiny_model, region, config)
+                  for region in regions]
+        batched, ledger = propagate_batched(tiny_model, regions, config)
+        assert_query_slices_bitwise(batched, ledger, serial)
+
+
+class TestVerifierBatched:
+    """certify_regions_batched == looped certify_region, exactly."""
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_margins_identical(self, tiny_model, tiny_sentence, batch):
+        verifier = DeepTVerifier(tiny_model, FAST(noise_symbol_cap=48))
+        label = tiny_model.predict(tiny_sentence)
+        regions = make_regions(tiny_model, tiny_sentence, batch)
+        looped = [verifier.certify_region(region, label)
+                  for region in make_regions(tiny_model, tiny_sentence,
+                                             batch)]
+        batched = verifier.certify_regions_batched(regions,
+                                                   [label] * batch)
+        assert len(batched) == batch
+        for one, ref in zip(batched, looped):
+            assert one.margin_lower == ref.margin_lower
+            assert one.certified == ref.certified
+            assert not one.degraded
+
+    def test_ragged_token_lengths_group_not_mix(self, tiny_model,
+                                                tiny_corpus):
+        # A mixed bag of sentence lengths: the scheduler must coalesce
+        # only same-length queries (the batch key includes the token
+        # count) and return radii identical to the serial scheduler.
+        by_len = {}
+        for seq in tiny_corpus.test_sequences:
+            by_len.setdefault(len(seq), []).append(seq)
+        lengths = sorted(length for length, seqs in by_len.items()
+                         if len(seqs) >= 1)[:2]
+        assert len(lengths) == 2, "corpus lacks ragged sentence lengths"
+        sentences = by_len[lengths[0]][:2] + by_len[lengths[1]][:1]
+
+        config = FAST(noise_symbol_cap=24)
+        queries = expand_word_queries(
+            tiny_model, sentences, 2.0, verifier="deept", config=config,
+            n_positions=2, n_iterations=2,
+            model_hash=model_weight_hash(tiny_model))
+
+        serial = CertScheduler(workers=0).run(tiny_model, queries)
+        coalesced_scheduler = CertScheduler(workers=0, batch_size=4)
+        coalesced = coalesced_scheduler.run(tiny_model, queries)
+        stats = coalesced_scheduler.last_stats
+
+        assert [o.radius for o in coalesced] == [o.radius for o in serial]
+        assert stats["batched_queries"] == len(queries)
+        # Two length groups -> at least two stacked searches; one batch
+        # covering everything would mean lengths were mixed.
+        assert stats["batches"] >= 2
+        assert all(o.source == "batched" for o in coalesced)
+
+
+class TestLedgerAliasing:
+    def test_off_frontier_append_raises(self):
+        ledger = QueryBatchLedger(2)
+        ledger.append(np.ones((3, 2), dtype=bool), at_count=0)
+        with pytest.raises(BatchAliasingError):
+            ledger.append(np.ones((1, 2), dtype=bool), at_count=1)
+        # The frontier append still works after the refused one.
+        ledger.append(np.eye(2, dtype=bool), at_count=3)
+        assert ledger.count == 5
+        assert ledger.live_counts().tolist() == [4, 4]
+
+    def test_batch_shape_validated(self):
+        ledger = QueryBatchLedger(3)
+        with pytest.raises(ValueError):
+            ledger.append(np.ones((2, 2), dtype=bool), at_count=0)
+
+
+class TestGroupedRefinementParity:
+    """The vectorized group kernel equals the per-row oracle bit for bit."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_rowwise_oracle(self, seed):
+        rng = np.random.default_rng((97, seed))
+        n_rows, n_active, n_vars = (int(rng.integers(2, 7)),
+                                    int(rng.integers(2, 9)),
+                                    int(rng.integers(1, 6)))
+        r = rng.normal(size=(n_rows, n_active, n_vars))
+        s = rng.uniform(0.1, 1.0, size=(n_rows, n_active)) \
+            * rng.choice([-1.0, 1.0], size=(n_rows, n_active))
+        n_phi = int(rng.integers(0, n_active + 1))
+        is_phi = np.zeros(n_active, dtype=bool)
+        is_phi[:n_phi] = True
+
+        grouped = _minimize_mass_groups(r, s, is_phi)
+        for row in range(n_rows):
+            oracle = _minimize_mass_rows(r[row], s[row], is_phi)
+            assert np.array_equal(grouped[row], oracle), \
+                f"row {row} diverged from the per-row oracle"
+
+    def test_phi_break_falls_back_to_scalar_walk(self):
+        # Force the optimum onto a phi breakpoint: the group kernel must
+        # hand exactly those (row, var) cells to the scalar slope walk.
+        rng = np.random.default_rng(11)
+        r = rng.normal(size=(3, 4, 2))
+        s = np.ones((3, 4))
+        is_phi = np.array([True, True, True, False])
+        grouped = _minimize_mass_groups(r, s, is_phi)
+        for row in range(3):
+            oracle = _minimize_mass_rows(r[row], s[row], is_phi)
+            assert np.array_equal(grouped[row], oracle)
