@@ -20,6 +20,10 @@ Usage::
     python -m repro.experiments report --check     # join BENCH_*.json into
                                                    # REPORT.md; exit 1 on
                                                    # any regression gate
+    python -m repro.experiments serve --port 8100  # long-running asyncio
+                                                   # certification service
+                                                   # (see README "Serving
+                                                   # quick-start")
 
 ``--workers N`` fans the certification queries of every radius report
 across N worker processes (N=0 keeps the classic serial path);
@@ -60,8 +64,9 @@ def _build_parser():
     parser.add_argument(
         "experiments", nargs="*", metavar="TABLE",
         help=f"tables to run (default: all); choose from "
-             f"{sorted(_RUNNERS)}, or 'report' to join benchmark "
-             f"results into REPORT.md")
+             f"{sorted(_RUNNERS)}, 'report' to join benchmark "
+             f"results into REPORT.md, or 'serve' to start the "
+             f"certification service")
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="certification-query worker processes (0 = serial, default)")
@@ -94,6 +99,18 @@ def _build_parser():
         "--check", action="store_true",
         help="(report) exit nonzero when a regression gate fails")
     parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="(serve) bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8100, metavar="PORT",
+        help="(serve) listen port (default 8100; 0 picks a free port)")
+    parser.add_argument(
+        "--preset", default="sst-small", metavar="NAME",
+        help="(serve) corpus/model preset to train or load and serve")
+    parser.add_argument(
+        "--n-layers", type=int, default=3, metavar="N",
+        help="(serve) transformer depth of the served model")
+    parser.add_argument(
         "--results-dir", default=None, metavar="DIR",
         help="(report) directory of BENCH_*.json files "
              "(default: benchmarks/results)")
@@ -103,9 +120,57 @@ def _build_parser():
     return parser
 
 
+def _serve(args):
+    """Train-or-load the preset model and serve it until interrupted."""
+    import asyncio
+
+    from ..scheduler import default_cache_dir
+    from ..service import CertService
+    from ..trace import TRACER
+    from .harness import get_transformer
+
+    print(f"training or loading model preset={args.preset} "
+          f"n_layers={args.n_layers} ...")
+    model, _, accuracy = get_transformer(args.preset,
+                                         n_layers=args.n_layers)
+    cache_dir = args.cache_dir or (default_cache_dir() if args.cache
+                                   else None)
+    journal_path = args.journal
+    if args.resume and not journal_path:
+        from ..scheduler import default_journal_path
+        journal_path = default_journal_path()
+    if args.trace_dir:
+        TRACER.enable()  # tracer-backed /result progress
+    service = CertService(model, cache_dir=cache_dir,
+                          journal_path=journal_path, resume=args.resume)
+
+    async def run():
+        port = await service.start(args.host, args.port)
+        print(f"serving model_hash={service.model_hash} "
+              f"(test accuracy {accuracy:.2f}) on "
+              f"http://{args.host}:{port} — POST /submit, GET /health, "
+              f"GET /metrics, GET /result/<key>")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
 def main(argv=None):
     """Run the selected experiment runners; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.experiments and args.experiments[0] == "serve":
+        if len(args.experiments) > 1:
+            print("serve takes no table arguments")
+            return 1
+        return _serve(args)
 
     if args.experiments and args.experiments[0] == "report":
         if len(args.experiments) > 1:

@@ -13,6 +13,10 @@ fails, so CI can run the report as a quality bar:
 * resilience    — guard overhead under budget, healthy runs untouched;
 * scheduler     — radii identical across serial/batched/parallel/warm,
                   warm cache recomputes nothing, engine probe over floor;
+* service       — the concurrency soak: zero hung requests, radii
+                  identical to serial execution, in-flight dedup and
+                  coalescing actually observed, injected faults resolved
+                  degraded-or-error;
 * trace         — disabled-tracer overhead under budget, deterministic
                   merge.
 
@@ -119,6 +123,24 @@ def build_checks(results):
             _check(rows, "scheduler", "fork-pool speedup >= 1.5x",
                    speedup >= 1.5, f"{speedup:.2f}x")
 
+    service = results.get("service")
+    if service:
+        hangs = service.get("hangs", -1)
+        _check(rows, "service", "no request hangs past its timeout",
+               hangs == 0, str(hangs))
+        _check(rows, "service", "radii identical to serial execution",
+               service.get("radii_identical"),
+               str(service.get("radii_identical")))
+        dedup = service.get("dedup_hits", 0) + service.get("result_hits", 0)
+        _check(rows, "service", "in-flight dedup observed", dedup > 0,
+               str(dedup))
+        coalesced = service.get("coalesced_batches", 0)
+        _check(rows, "service", "coalesced batch observed", coalesced >= 1,
+               str(coalesced))
+        _check(rows, "service", "injected fault resolved degraded-or-error",
+               service.get("rescue_resolved"),
+               str(service.get("rescue_status")))
+
     trace = results.get("trace")
     if trace:
         overhead = trace.get("disabled_overhead_fraction", 1.0)
@@ -144,6 +166,13 @@ def _headline(key, data):
         return (f"fork {data.get('speedup', 0):.2f}x, lockstep "
                 f"{data.get('batched_speedup', 0):.2f}x, engine probe "
                 f"{(data.get('engine_probe') or {}).get('speedup', 0):.2f}x")
+    if key == "service":
+        return (f"{data.get('n_queries', 0)} queries / "
+                f"{data.get('n_tenants', 0)} tenants, "
+                f"{data.get('hangs', '?')} hangs, p95 "
+                f"{data.get('latency_p95', 0):.2f}s, "
+                f"dedup {data.get('dedup_hits', 0)}, "
+                f"{data.get('coalesced_batches', 0)} coalesced")
     if key == "trace":
         return (f"disabled overhead "
                 f"{data.get('disabled_overhead_fraction', 0):+.1%}, "

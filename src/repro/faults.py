@@ -52,10 +52,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FaultPlan", "FaultInjector", "install_fault_plan",
-           "active_injector", "reset_fault_state", "fault_zonotope",
-           "fault_worker_entry", "fault_cache_commit",
-           "fault_cache_committed", "ENV_FAULT_PLAN"]
+__all__ = ["FaultPlan", "FaultInjector", "InjectedWorkerDeath",
+           "install_fault_plan", "active_injector", "reset_fault_state",
+           "fault_zonotope", "fault_worker_entry", "fault_service_entry",
+           "fault_cache_commit", "fault_cache_committed", "ENV_FAULT_PLAN"]
 
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
@@ -66,6 +66,18 @@ _KINDS = _ZONOTOPE_KINDS + ("kill-worker", "stall", "cache-kill",
 # Exit code of an injected process kill — distinguishable from real crashes
 # in scheduler smoke logs.
 KILL_EXIT_CODE = 17
+
+
+class InjectedWorkerDeath(RuntimeError):
+    """An injected worker kill, surfaced in-process.
+
+    The certification service executes queries on executor threads inside
+    the serving process, so the ``kill-worker`` fault cannot ``os._exit``
+    there without taking the whole server down — instead the service-side
+    hook raises this error at query start, which reaches the waiting
+    request exactly the way a dead fork-pool worker reaches the
+    scheduler's retry ladder.
+    """
 
 
 @dataclass(frozen=True)
@@ -163,6 +175,22 @@ class FaultInjector:
         if kind == "stall" and self._should_fire():
             time.sleep(self.plan.stall_seconds)
 
+    def service_entry(self):
+        """Hook at service query-execution start: die-or-stall in-thread.
+
+        The in-process twin of :meth:`worker_entry` for the asyncio
+        certification service: ``kill-worker`` raises
+        :class:`InjectedWorkerDeath` (the executor thread dies, the server
+        survives to rescue the waiter) and ``stall`` sleeps past the
+        service's per-query deadline (forcing its timeout path).
+        """
+        kind = self.plan.kind
+        if kind == "kill-worker" and self._should_fire():
+            raise InjectedWorkerDeath("injected worker death at query "
+                                      "start")
+        if kind == "stall" and self._should_fire():
+            time.sleep(self.plan.stall_seconds)
+
     # ----------------------------------------------------------------- cache
     def cache_commit(self, tmp_path):
         """Hook between a shard's temp write and its atomic rename."""
@@ -238,6 +266,14 @@ def fault_worker_entry():
     injector = active_injector()
     if injector is not None:
         injector.worker_entry()
+
+
+def fault_service_entry():
+    """Service-executor hook at query start (kill / stall kinds, raising
+    instead of exiting — the serving process must survive)."""
+    injector = active_injector()
+    if injector is not None:
+        injector.service_entry()
 
 
 def fault_cache_commit(tmp_path):

@@ -69,8 +69,10 @@ class CertQuery:
     Attributes
     ----------
     verifier:
-        ``"deept"`` (Multi-norm Zonotope) or ``"crown"`` (linear-bounds
-        baseline).
+        ``"deept"`` (Multi-norm Zonotope), ``"crown"`` (linear-bounds
+        baseline) or ``"ibp"`` (pure interval propagation — the
+        degradation ladder's floor, used by the certification service as
+        its deepest quality-of-service rung).
     model_hash / corpus_fingerprint:
         Content hashes tying the query to specific weights and sentences.
     sentence:
@@ -97,7 +99,7 @@ class CertQuery:
     n_iterations: int = 12
 
     def __post_init__(self):
-        if self.verifier not in ("deept", "crown"):
+        if self.verifier not in ("deept", "crown", "ibp"):
             raise ValueError(f"unknown verifier {self.verifier!r}")
 
     def key(self):
@@ -120,11 +122,14 @@ class CertQuery:
         same norm/config so one verifier serves all) and their radius
         searches run in lockstep (same bracketing parameters). Position
         and sentence content are deliberately excluded — those vary within
-        a batch.
+        a batch — and so is the corpus fingerprint: execution depends only
+        on the tokens each query itself carries, so queries from different
+        corpora (e.g. independent service submissions, which fingerprint
+        each sentence on its own) stack safely as long as the fields above
+        agree.
         """
-        return (self.verifier, self.model_hash, self.corpus_fingerprint,
-                len(self.sentence), self.p, self.config, self.initial,
-                self.n_iterations)
+        return (self.verifier, self.model_hash, len(self.sentence),
+                self.p, self.config, self.initial, self.n_iterations)
 
 
 def expand_word_queries(model, sentences, p, *, verifier="deept",

@@ -35,6 +35,11 @@ def _build_verifier(model, query):
     if query.verifier == "deept":
         from ..verify import DeepTVerifier, VerifierConfig
         return DeepTVerifier(model, VerifierConfig(**dict(query.config)))
+    if query.verifier == "ibp":
+        # The QoS floor: interval propagation; the (deept-shaped) config
+        # rides along unused so degraded queries stay round-trippable.
+        from ..verify import IBPVerifier
+        return IBPVerifier(model)
     from ..baselines.crown import CrownVerifier
     return CrownVerifier(model,
                          backsub_depth=dict(query.config)["backsub_depth"])

@@ -1,0 +1,82 @@
+"""A minimal asyncio client for the certification service.
+
+Speaks the service's one-request-per-connection HTTP/1.1 dialect with
+stdlib ``asyncio.open_connection`` only — the same constraint as the
+server (the container has no aiohttp). Used by the test battery, the soak
+benchmark and as the reference for hand-rolled clients; ``curl`` works
+equally well (see the README serving quick-start).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Tiny HTTP client bound to one service host/port."""
+
+    def __init__(self, host="127.0.0.1", port=8100):
+        self.host = host
+        self.port = port
+
+    async def request(self, method, path, body=None):
+        """One round trip; returns ``(http_status, payload_dict)``."""
+        reader, writer = await asyncio.open_connection(self.host,
+                                                       self.port)
+        try:
+            data = json.dumps(body).encode() if body is not None else b""
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode() + data)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1])
+        return status, json.loads(body_blob.decode() or "null")
+
+    # ----------------------------------------------------------- endpoints
+    async def submit(self, payload, wait=None):
+        path = "/submit" if wait is None else f"/submit?wait={wait}"
+        return await self.request("POST", path, payload)
+
+    async def result(self, key):
+        return await self.request("GET", f"/result/{key}")
+
+    async def health(self):
+        return await self.request("GET", "/health")
+
+    async def metrics(self):
+        return await self.request("GET", "/metrics")
+
+    async def wait(self, key, timeout=60.0, poll=0.02):
+        """Poll ``/result/<key>`` until it settles; raises on deadline.
+
+        "Settles" means status ``done``, ``error`` or ``timeout`` — the
+        202 progress states keep polling. The deadline raises
+        ``asyncio.TimeoutError`` so a test's soak loop can never hang on
+        a lost key.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            status, payload = await self.result(key)
+            if status != 202:
+                return status, payload
+            if loop.time() >= deadline:
+                raise asyncio.TimeoutError(
+                    f"result {key!r} still {payload.get('status')!r} "
+                    f"after {timeout}s")
+            await asyncio.sleep(poll)

@@ -1,0 +1,602 @@
+"""The certification service: an asyncio front end over the query engine.
+
+:class:`CertService` turns the batch-harness stack — pure
+:func:`~repro.scheduler.worker.execute_query`, the sharded
+:class:`~repro.scheduler.cache.ResultCache`, the crash-safe
+:class:`~repro.scheduler.journal.RunJournal`, the
+:data:`~repro.trace.TRACER` — into a long-running server that accepts JSON
+:class:`~repro.scheduler.queries.CertQuery` submissions over HTTP and
+answers them with certified radii. The request path, in order:
+
+1. **parse + rate limit** — typed 400s for malformed submissions, a
+   per-tenant token bucket (429) before any work is considered;
+2. **dedup** — completed results (memory, then journal seed, then result
+   cache) answer instantly; a submission whose sha256 key is already
+   *in flight* attaches to the existing computation (one execution, N
+   waiters) and never touches the queue;
+3. **admission control** — queue depth maps to a QoS rung via
+   :class:`~repro.service.admission.AdmissionController`: under load the
+   query itself is rewritten down the degradation ladder
+   (full -> fast -> IBP) or shed with a typed 503;
+4. **coalescing** — the dispatcher groups queued queries that share
+   :meth:`CertQuery.batch_key` into one stacked
+   :func:`~repro.scheduler.worker.execute_query_batch` call (radii bitwise
+   identical to serial execution, per the PR-5 guarantee);
+5. **execution** — on a worker thread so the event loop keeps serving;
+   a deadline (``query_timeout``) plus an IBP *rescue* rung guarantee
+   every waiter resolves with a done, degraded or typed-error payload —
+   never a hang.
+
+Completed outcomes flow through the result cache and the run journal keyed
+by the query that actually executed — a degraded answer lives under the
+degraded query's key, so it can never impersonate the full-precision
+result — and a restart with ``resume=True`` replays the journal so
+previously answered queries are served without recomputation.
+
+Concurrency note: query execution is deliberately serialized on one
+executor thread. The engine is single-core CPU-bound numpy, and the
+process-global ``PERF``/``TRACER`` recorders are not thread-safe; the
+service's concurrency win is in dedup, coalescing and admission, not in
+parallel propagation. The rescue rung runs on its own thread so a stalled
+execution cannot wedge recovery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from ..faults import fault_service_entry
+from ..perf import PerfRecorder
+from ..scheduler.cache import ResultCache
+from ..scheduler.journal import RunJournal
+from ..scheduler.queries import model_weight_hash
+from ..scheduler.worker import execute_query, execute_query_batch
+from ..trace import TRACER
+from .admission import AdmissionController, degrade_query, rung_for_query
+from .protocol import (BadRequest, NotFound, Overloaded, RateLimited,
+                       ServiceError, error_payload, outcome_payload,
+                       parse_submission)
+from .tenancy import TenantPolicy, TenantRegistry
+
+__all__ = ["ServiceConfig", "CertService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Service knobs (admission thresholds, coalescing, deadlines)."""
+
+    degrade_fast_at: int = 8       # queue depth that degrades to "fast"
+    degrade_ibp_at: int = 16       # ... to the IBP floor
+    reject_at: int = 32            # ... sheds with a typed 503
+    batch_size: int = 8            # coalescing cap per stacked execution
+    batch_window: float = 0.02     # seconds to linger forming a batch
+    query_timeout: float = 120.0   # execution deadline before rescue
+    default_rate: float = 50.0     # tenant bucket: tokens per second
+    default_burst: int = 20        # tenant bucket: capacity
+
+
+class _Entry:
+    """One admitted, not-yet-completed query and its waiters."""
+
+    __slots__ = ("query", "tenant", "rung", "future", "state",
+                 "enqueued_at", "started_at")
+
+    def __init__(self, query, tenant, rung, future, now):
+        self.query = query
+        self.tenant = tenant
+        self.rung = rung
+        self.future = future
+        self.state = "queued"
+        self.enqueued_at = now
+        self.started_at = None
+
+
+class CertService:
+    """Serves certification queries against one fixed model.
+
+    Parameters
+    ----------
+    model:
+        The transformer classifier every submission certifies against
+        (its weight hash becomes part of every query key).
+    config:
+        :class:`ServiceConfig`; defaults are production-shaped, tests pass
+        tight thresholds.
+    cache_dir:
+        Enables the persistent :class:`ResultCache` there.
+    journal_path / resume:
+        Enables the crash-safe :class:`RunJournal`; with ``resume=True``
+        an existing journal is replayed at startup and its outcomes are
+        served without recomputation.
+    tenant_policies:
+        Optional ``{tenant: TenantPolicy}`` overrides of the default
+        bucket.
+    """
+
+    def __init__(self, model, config=None, cache_dir=None,
+                 journal_path=None, resume=False, tenant_policies=None):
+        self.model = model
+        self.config = config or ServiceConfig()
+        self.model_hash = model_weight_hash(model)
+        self.admission = AdmissionController(
+            degrade_fast_at=self.config.degrade_fast_at,
+            degrade_ibp_at=self.config.degrade_ibp_at,
+            reject_at=self.config.reject_at)
+        self.tenants = TenantRegistry(
+            TenantPolicy(rate=self.config.default_rate,
+                         burst=self.config.default_burst),
+            tenant_policies)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.journal = RunJournal(journal_path, resume=resume) \
+            if journal_path else None
+
+        self._results = {}    # key -> done payload (sound answers only)
+        self._errors = {}     # key -> last error payload (retryable)
+        self._inflight = {}   # key -> _Entry (queued or running)
+        self._pending = []    # FIFO of queued _Entry objects
+        self._metrics = {}
+        self._perf = PerfRecorder()
+        self._started_monotonic = None
+        self._loop = None
+        self._server = None
+        self._dispatcher = None
+        self._executor = None
+        self._rescue_executor = None
+        self._wakeup = None
+
+        if self.journal is not None:
+            for key, entry in self.journal.replay().items():
+                self._results[key] = outcome_payload(
+                    key, radius=entry["radius"], seconds=entry["seconds"],
+                    source="journal", tenant=None, qos_rung=None,
+                    degraded=entry.get("degraded", False),
+                    fallback_chain=entry.get("fallback_chain") or (),
+                    fault=entry.get("fault"))
+                self._count("journal_seeded")
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self, host="127.0.0.1", port=8100):
+        """Bind the listener and start the dispatcher; returns the port."""
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cert-exec")
+        self._rescue_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="cert-rescue")
+        self._started_monotonic = self._loop.time()
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._server = await asyncio.start_server(self._handle_connection,
+                                                  host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self):
+        await self._server.serve_forever()
+
+    async def stop(self):
+        """Close the listener; unresolved waiters get a typed error."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for entry in list(self._inflight.values()):
+            if not entry.future.done():
+                entry.future.set_result({
+                    "status": "error", "code": "shutting-down",
+                    "key": entry.query.key(),
+                    "error": "service stopped before completion"})
+        self._inflight.clear()
+        self._pending.clear()
+        for executor in (self._executor, self._rescue_executor):
+            if executor is not None:
+                executor.shutdown(wait=False)
+
+    # --------------------------------------------------------------- metrics
+    def _count(self, name, k=1):
+        self._metrics[name] = self._metrics.get(name, 0) + k
+
+    def _now(self):
+        return self._loop.time() if self._loop is not None \
+            else time.monotonic()
+
+    def health_payload(self):
+        return {
+            "status": "ok",
+            "model_hash": self.model_hash,
+            "uptime_seconds": round(
+                self._now() - self._started_monotonic, 3)
+            if self._started_monotonic is not None else None,
+            "queue_depth": len(self._pending),
+            "inflight": len(self._inflight),
+        }
+
+    def metrics_payload(self):
+        hits = self._metrics.get("cache_hits", 0)
+        misses = self._metrics.get("cache_misses", 0)
+        return {
+            "model_hash": self.model_hash,
+            "uptime_seconds": round(
+                self._now() - self._started_monotonic, 3)
+            if self._started_monotonic is not None else None,
+            "queue_depth": len(self._pending),
+            "inflight": len(self._inflight),
+            "results_held": len(self._results),
+            "counters": dict(sorted(self._metrics.items())),
+            "cache_hit_rate": hits / (hits + misses)
+            if hits + misses else None,
+            "tenants": self.tenants.snapshot(self._now()),
+            "perf": self._perf.snapshot(),
+        }
+
+    # ---------------------------------------------------------------- submit
+    async def submit(self, payload):
+        """Admit one submission; returns its ack (raises ServiceError)."""
+        query, tenant = parse_submission(payload, self.model_hash)
+        now = self._now()
+        self._count("submitted")
+        if not self.tenants.try_acquire(tenant, now):
+            self._count("rejected_rate_limited")
+            raise RateLimited(
+                f"tenant {tenant!r} exceeded its request rate")
+
+        # Dedup before load shedding: an answered or in-flight duplicate
+        # costs nothing, so it must never be degraded or rejected.
+        hit = self._lookup(query, tenant)
+        if hit is not None:
+            return hit
+
+        depth = len(self._pending)
+        action, rung = self.admission.decide(depth)
+        if action == "reject":
+            self._count("rejected_overloaded")
+            self.tenants.count(tenant, "rejected_overloaded")
+            raise Overloaded(
+                f"queue depth {depth} >= {self.admission.reject_at}; "
+                f"resubmit later")
+        admitted = degrade_query(query, rung)
+        applied_rung = rung_for_query(admitted)
+        if admitted.key() != query.key():
+            self._count(f"qos_degraded_{applied_rung}")
+            self.tenants.count(tenant, f"qos_degraded_{applied_rung}")
+            # The rewrite changed the key: the degraded twin may itself
+            # already be answered or in flight.
+            hit = self._lookup(admitted, tenant, count_miss=False)
+            if hit is not None:
+                return hit
+
+        key = admitted.key()
+        entry = _Entry(admitted, tenant, applied_rung,
+                       self._loop.create_future(), now)
+        self._inflight[key] = entry
+        self._pending.append(entry)
+        self._errors.pop(key, None)  # a retry supersedes an old error
+        self._wakeup.set()
+        return {"status": "queued", "key": key, "tenant": tenant,
+                "qos_rung": applied_rung, "position": depth}
+
+    def _lookup(self, query, tenant, count_miss=True):
+        """Answer from memory, in-flight attach, or the result cache."""
+        key = query.key()
+        done = self._results.get(key)
+        if done is not None:
+            self._count("result_hits")
+            self.tenants.count(tenant, "result_hits")
+            return done
+        entry = self._inflight.get(key)
+        if entry is not None:
+            self._count("dedup_hits")
+            self.tenants.count(tenant, "dedup_hits")
+            return {"status": entry.state, "key": key, "tenant": tenant,
+                    "qos_rung": entry.rung, "deduped": True}
+        if self.cache is not None:
+            cached = self.cache.get(query)
+            if cached is not None:
+                self._count("cache_hits")
+                payload = outcome_payload(
+                    key, radius=cached["radius"],
+                    seconds=cached["seconds"], source="cache",
+                    tenant=tenant, qos_rung=rung_for_query(query),
+                    degraded=cached.get("degraded", False),
+                    fallback_chain=cached.get("fallback_chain") or (),
+                    fault=cached.get("fault"))
+                self._finish(key, payload, query=query,
+                             journal_source="cache", write_cache=False)
+                return payload
+            if count_miss:
+                self._count("cache_misses")
+        return None
+
+    # ----------------------------------------------------------------- poll
+    def result_payload(self, key):
+        """(http_status, payload) for ``GET /result/<key>``."""
+        done = self._results.get(key)
+        if done is not None:
+            return 200, done
+        error = self._errors.get(key)
+        if error is not None:
+            return 200, error
+        entry = self._inflight.get(key)
+        if entry is None:
+            raise NotFound(f"unknown result key {key!r}")
+        progress = {"status": entry.state, "key": key,
+                    "tenant": entry.tenant, "qos_rung": entry.rung}
+        if entry.state == "queued":
+            progress["position"] = self._pending.index(entry) \
+                if entry in self._pending else None
+        else:
+            progress["seconds_running"] = round(
+                self._now() - entry.started_at, 3)
+            # Tracer-backed progress: while the executor thread runs this
+            # query under TRACER.query_scope(key), its spans accumulate in
+            # the global list tagged with the key; counting them is a live
+            # how-far-along signal (None when tracing is disabled).
+            progress["trace_spans"] = sum(
+                1 for span in TRACER.spans
+                if span.get("query") == key) if TRACER.enabled else None
+        return 202, progress
+
+    async def wait_result(self, key, timeout):
+        """Wait for ``key`` to resolve; a typed timeout, never a hang."""
+        done = self._results.get(key)
+        if done is not None:
+            return done
+        error = self._errors.get(key)
+        if error is not None:
+            return error
+        entry = self._inflight.get(key)
+        if entry is None:
+            raise NotFound(f"unknown result key {key!r}")
+        try:
+            return await asyncio.wait_for(asyncio.shield(entry.future),
+                                          timeout)
+        except asyncio.TimeoutError:
+            return {"status": "timeout", "key": key, "code": "wait-timeout",
+                    "error": f"result not ready within {timeout}s; "
+                             f"poll /result/{key}"}
+
+    # ------------------------------------------------------------ dispatcher
+    async def _dispatch_loop(self):
+        while True:
+            if not self._pending:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            head = self._pending[0]
+            if (self.config.batch_window > 0 and self.config.batch_size > 1
+                    and head.query.verifier == "deept"
+                    and self._compatible_queued(head)
+                    < self.config.batch_size):
+                # Linger one window so near-simultaneous compatible
+                # queries coalesce instead of executing one by one.
+                await asyncio.sleep(self.config.batch_window)
+            batch = self._take_batch()
+            if batch:
+                await self._execute(batch)
+
+    def _compatible_queued(self, head):
+        key = head.query.batch_key()
+        return sum(1 for entry in self._pending
+                   if entry.query.verifier == "deept"
+                   and entry.query.batch_key() == key)
+
+    def _take_batch(self):
+        """Pop the oldest entry plus every coalescible twin (FIFO kept)."""
+        if not self._pending:
+            return []
+        head = self._pending.pop(0)
+        batch = [head]
+        if head.query.verifier != "deept" or self.config.batch_size < 2:
+            return batch
+        key = head.query.batch_key()
+        remaining = []
+        for entry in self._pending:
+            if (len(batch) < self.config.batch_size
+                    and entry.query.verifier == "deept"
+                    and entry.query.batch_key() == key):
+                batch.append(entry)
+            else:
+                remaining.append(entry)
+        self._pending[:] = remaining
+        return batch
+
+    # ------------------------------------------------------------- execution
+    def _run_queries(self, queries):
+        """Executor-thread entry: the pure engine call (chaos-hooked)."""
+        fault_service_entry()
+        if len(queries) == 1:
+            return [execute_query(self.model, queries[0])]
+        return execute_query_batch(self.model, queries)
+
+    async def _execute(self, batch):
+        now = self._now()
+        for entry in batch:
+            entry.state = "running"
+            entry.started_at = now
+        queries = [entry.query for entry in batch]
+        try:
+            results = await asyncio.wait_for(
+                self._loop.run_in_executor(self._executor,
+                                           self._run_queries, queries),
+                timeout=self.config.query_timeout)
+        except asyncio.TimeoutError:
+            self._count("execution_timeouts")
+            await self._rescue(batch, "execution deadline exceeded")
+            return
+        except Exception as error:
+            self._count("execution_errors")
+            await self._rescue(batch,
+                               f"{type(error).__name__}: {error}")
+            return
+        if len(batch) > 1:
+            self._count("coalesced_batches")
+            self._count("coalesced_queries", len(batch))
+        self._count("executed_queries", len(batch))
+        for entry, (radius, seconds, perf, meta) in zip(batch, results):
+            key = entry.query.key()
+            payload = outcome_payload(
+                key, radius=radius, seconds=seconds,
+                source="batched" if len(batch) > 1 else "executed",
+                tenant=entry.tenant, qos_rung=entry.rung,
+                degraded=meta.get("degraded", False),
+                fallback_chain=meta.get("fallback_chain") or (),
+                fault=meta.get("fault"))
+            self._finish(key, payload, query=entry.query,
+                         journal_source=payload["source"], perf=perf,
+                         entry=entry)
+
+    async def _rescue(self, batch, reason):
+        """Degraded-or-error: every waiter of a failed batch resolves.
+
+        Each query is retried once on the IBP floor — on a dedicated
+        executor thread, so a stalled primary execution cannot block
+        recovery, and without the chaos entry hook (mirroring the
+        scheduler, whose in-process fallback also bypasses
+        ``fault_worker_entry``). Queries already at the floor, or whose
+        rescue also fails, resolve with a typed error payload.
+        """
+        for entry in batch:
+            key = entry.query.key()
+            if entry.query.verifier == "ibp":
+                self._fail(entry, key, reason)
+                continue
+            rescue_query = degrade_query(entry.query, "ibp")
+            try:
+                radius, seconds, perf, meta = await asyncio.wait_for(
+                    self._loop.run_in_executor(
+                        self._rescue_executor, execute_query, self.model,
+                        rescue_query),
+                    timeout=self.config.query_timeout)
+            except Exception:
+                self._fail(entry, key, reason)
+                continue
+            self._count("rescued_queries")
+            payload = outcome_payload(
+                key, radius=radius, seconds=seconds, source="rescue",
+                tenant=entry.tenant, qos_rung="ibp", degraded=True,
+                fallback_chain=(entry.rung, "ibp"), fault=reason,
+                rescued=reason)
+            # Cache/journal under the *rescue* query's key — an IBP
+            # radius must never be replayable as the original query's
+            # answer; only this process's in-memory result map (where the
+            # payload is flagged degraded) serves it for the original key.
+            self._finish(key, payload, query=rescue_query,
+                         journal_source="rescue", perf=perf, entry=entry)
+
+    def _fail(self, entry, key, reason):
+        self._count("failed_queries")
+        self.tenants.count(entry.tenant, "failed")
+        payload = {"status": "error", "code": "execution-failed",
+                   "key": key, "tenant": entry.tenant,
+                   "qos_rung": entry.rung, "error": reason}
+        self._errors[key] = payload
+        self._inflight.pop(key, None)
+        if not entry.future.done():
+            entry.future.set_result(payload)
+
+    def _finish(self, key, payload, query, journal_source, perf=None,
+                write_cache=True, entry=None):
+        """Record one sound outcome: memory, cache, journal, waiters."""
+        self._results[key] = payload
+        if entry is None:
+            entry = self._inflight.get(key)
+        self._inflight.pop(key, None)
+        self._count("completed")
+        if perf:
+            self._perf.merge(perf)
+        if entry is not None:
+            self.tenants.count(entry.tenant, "completed")
+            if not entry.future.done():
+                entry.future.set_result(payload)
+        if write_cache and self.cache is not None:
+            self.cache.put(query, payload["radius"], payload["seconds"],
+                           perf, degraded=payload["degraded"],
+                           fallback_chain=payload["fallback_chain"],
+                           fault=payload["fault"])
+        if self.journal is not None:
+            self.journal.append(query, payload["radius"],
+                                payload["seconds"], perf, journal_source,
+                                degraded=payload["degraded"],
+                                fallback_chain=payload["fallback_chain"],
+                                fault=payload["fault"])
+
+    # ------------------------------------------------------------ HTTP layer
+    async def _handle_connection(self, reader, writer):
+        try:
+            status, payload = await self._handle_request(reader)
+        except ServiceError as error:
+            status, payload = error.status, error.payload()
+        except Exception as error:  # never leak a traceback to the wire
+            status, payload = 500, error_payload(ServiceError(str(error)))
+        body = json.dumps(payload).encode()
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader):
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        url = urlsplit(target)
+        return await self._route(method, url.path, parse_qs(url.query),
+                                 body)
+
+    async def _route(self, method, path, params, body):
+        if method == "POST" and path == "/submit":
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (ValueError, UnicodeDecodeError):
+                raise BadRequest("submission body is not valid JSON")
+            ack = await self.submit(payload)
+            wait = params.get("wait")
+            if wait and ack.get("status") in ("queued", "running"):
+                try:
+                    timeout = float(wait[0])
+                except ValueError:
+                    raise BadRequest("wait must be a number of seconds")
+                result = await self.wait_result(ack["key"], timeout)
+                return (200 if result.get("status") in ("done", "error")
+                        else 202), result
+            return (200 if ack.get("status") == "done" else 202), ack
+        if method == "GET" and path.startswith("/result/"):
+            return self.result_payload(path[len("/result/"):])
+        if method == "GET" and path == "/health":
+            return 200, self.health_payload()
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics_payload()
+        raise NotFound(f"no route for {method} {path}")
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}

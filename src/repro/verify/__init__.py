@@ -10,7 +10,8 @@ from .regions import (
     lp_ball_region, word_perturbation_region, synonym_attack_region,
     image_perturbation_region,
 )
-from .verifier import DeepTVerifier, CertificationResult
+from .verifier import (DeepTVerifier, CertificationResult, IBPVerifier,
+                       ibp_certify_region)
 from .radius import (
     binary_search_radius, lockstep_radius_search, max_certified_radius,
     max_certified_image_radius,
@@ -24,7 +25,8 @@ __all__ = [
     "propagate_classifier",
     "lp_ball_region", "word_perturbation_region", "synonym_attack_region",
     "image_perturbation_region",
-    "DeepTVerifier", "CertificationResult",
+    "DeepTVerifier", "CertificationResult", "IBPVerifier",
+    "ibp_certify_region",
     "binary_search_radius", "lockstep_radius_search",
     "max_certified_radius", "max_certified_image_radius",
     "MlpZonotopeVerifier", "propagate_mlp",

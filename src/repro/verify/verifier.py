@@ -35,7 +35,8 @@ from .propagation import propagate_classifier
 from .regions import (word_perturbation_region, synonym_attack_region,
                       image_perturbation_region)
 
-__all__ = ["CertificationResult", "DeepTVerifier"]
+__all__ = ["CertificationResult", "DeepTVerifier", "IBPVerifier",
+           "ibp_certify_region"]
 
 # Failures the degradation ladder recovers from: typed guard trips plus the
 # numerical-precondition errors a corrupted zonotope can surface before a
@@ -162,26 +163,8 @@ class DeepTVerifier:
             true_label=true_label)
 
     def _certify_region_ibp(self, region, true_label):
-        """The ladder's floor: pure interval propagation of the region.
-
-        Interval arithmetic has no noise symbols to blow up and sanitizes
-        inf/NaN per node, so this rung answers even where the zonotope
-        engine cannot. It is the loosest sound verifier for the same
-        region, reusing the region's concrete interval bounds as the graph
-        input box.
-        """
-        from ..baselines.graph import (build_transformer_graph,
-                                       interval_propagate)
-        graph, _, logits = build_transformer_graph(self.model,
-                                                   region.shape[0])
-        interval_propagate(graph, *region.bounds())
-        lower = logits.lower.reshape(-1)
-        upper = logits.upper.reshape(-1)
-        worst = min(float(lower[true_label] - upper[other])
-                    for other in range(len(lower)) if other != true_label)
-        return CertificationResult(
-            certified=certified_from_margin(worst), margin_lower=worst,
-            true_label=true_label)
+        """The ladder's floor: pure interval propagation of the region."""
+        return ibp_certify_region(self.model, region, true_label)
 
     # ------------------------------------------------------------- batching
     def certify_regions_batched(self, regions, true_labels):
@@ -268,4 +251,56 @@ class DeepTVerifier:
         if true_label is None:
             true_label = self.model.predict(image)
         region = image_perturbation_region(self.model, image, radius, p)
+        return self.certify_region(region, true_label)
+
+
+def ibp_certify_region(model, region, true_label):
+    """Certify a region by pure interval propagation (the ladder's floor).
+
+    Interval arithmetic has no noise symbols to blow up and sanitizes
+    inf/NaN per node, so this rung answers even where the zonotope engine
+    cannot. It is the loosest sound verifier for the same region, reusing
+    the region's concrete interval bounds as the graph input box.
+    """
+    from ..baselines.graph import (build_transformer_graph,
+                                   interval_propagate)
+    graph, _, logits = build_transformer_graph(model, region.shape[0])
+    interval_propagate(graph, *region.bounds())
+    lower = logits.lower.reshape(-1)
+    upper = logits.upper.reshape(-1)
+    worst = min(float(lower[true_label] - upper[other])
+                for other in range(len(lower)) if other != true_label)
+    return CertificationResult(
+        certified=certified_from_margin(worst), margin_lower=worst,
+        true_label=true_label)
+
+
+class IBPVerifier:
+    """The degradation ladder's IBP floor as a standalone verifier.
+
+    The certification service uses this rung as its deepest
+    quality-of-service level: under heavy load, admitted queries are
+    rewritten to ``verifier="ibp"`` and answered with pure interval
+    propagation — still sound (IBP over-approximates every rung above it,
+    so it can lose certifications but never invent one), just looser.
+    ``config`` is accepted and ignored so the rewritten query's
+    :class:`~repro.verify.config.VerifierConfig` payload round-trips
+    through :func:`~repro.scheduler.worker.execute_query` unchanged.
+    """
+
+    def __init__(self, model, config=None):
+        self.model = model
+        self.config = config
+
+    def certify_region(self, region, true_label):
+        with PERF.stage("propagation"):
+            return ibp_certify_region(self.model, region, true_label)
+
+    def certify_word_perturbation(self, token_ids, position, radius, p,
+                                  true_label=None):
+        """T1 on the IBP floor: ℓp ball around one word's embedding."""
+        if true_label is None:
+            true_label = self.model.predict(token_ids)
+        region = word_perturbation_region(self.model, token_ids, position,
+                                          radius, p)
         return self.certify_region(region, true_label)

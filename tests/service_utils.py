@@ -1,0 +1,59 @@
+"""Shared helpers for the certification-service test battery.
+
+No pytest-asyncio in the container: every test drives its own event loop
+with ``asyncio.run``. The :func:`serving` context starts a real
+:class:`~repro.service.CertService` on an ephemeral port and yields it
+alongside a :class:`~repro.service.ServiceClient`, so the battery goes
+through the actual HTTP wire path, not method calls.
+"""
+
+import contextlib
+
+import numpy as np
+
+from repro.service import CertService, ServiceClient
+
+
+@contextlib.asynccontextmanager
+async def serving(model, *, config=None, **kwargs):
+    """Start a service on a free port; always stopped on exit."""
+    service = CertService(model, config=config, **kwargs)
+    await service.start("127.0.0.1", 0)
+    client = ServiceClient("127.0.0.1", service.port)
+    try:
+        yield service, client
+    finally:
+        await service.stop()
+
+
+# A cheap-but-real DeepT configuration: the fast dot-product variant and a
+# tight noise-symbol cap keep one query well under a second on the tiny
+# test model while exercising the full zonotope pipeline.
+FAST_CONFIG = {"dot_product_variant": "fast", "noise_symbol_cap": 64}
+
+
+def submission(sentence, position=1, tenant="acme", **overrides):
+    """A valid /submit payload for ``sentence`` (override any field)."""
+    payload = {"tenant": tenant,
+               "sentence": [int(t) for t in sentence],
+               "position": int(position),
+               "p": 2.0,
+               "verifier": "deept",
+               "config": dict(FAST_CONFIG),
+               "n_iterations": 2}
+    payload.update(overrides)
+    return payload
+
+
+def make_sentences(vocab_size, n, length=6, seed=7):
+    """Distinct same-length synthetic sentences (same batch key)."""
+    rng = np.random.default_rng(seed)
+    sentences = []
+    seen = set()
+    while len(sentences) < n:
+        sentence = tuple(
+            int(t) for t in rng.integers(1, vocab_size, size=length))
+        if sentence not in seen:
+            seen.add(sentence)
+            sentences.append(sentence)
+    return sentences

@@ -191,6 +191,44 @@ class TestFallbacks:
         assert first[0] == second[0]  # bitwise-identical radius
 
 
+class TestOutOfOrderCompletion:
+    """Workers finishing out of submission order must not mix up outcomes."""
+
+    def test_pool_outcomes_keyed_correctly_despite_reversal(
+            self, tiny_model, queries, tmp_path, monkeypatch):
+        import time
+
+        import repro.scheduler.worker as worker_mod
+
+        chosen = list(queries[:3])
+        reference = [execute_query(tiny_model, q)[0] for q in chosen]
+
+        # Delay earlier queries so completion order reverses submission
+        # order. The patch lands before the fork pool is created, so the
+        # workers inherit it; each stamps its completion time to disk.
+        delays = {chosen[0].key(): 2.5, chosen[1].key(): 1.2,
+                  chosen[2].key(): 0.0}
+        stamp_dir = tmp_path / "stamps"
+        stamp_dir.mkdir()
+        inner = worker_mod.execute_query
+
+        def delayed(model, query):
+            time.sleep(delays.get(query.key(), 0.0))
+            result = inner(model, query)
+            (stamp_dir / query.key()).write_text(repr(time.monotonic()))
+            return result
+
+        monkeypatch.setattr(worker_mod, "execute_query", delayed)
+        outcomes = CertScheduler(workers=3).run(tiny_model, chosen)
+
+        stamps = [float((stamp_dir / q.key()).read_text())
+                  for q in chosen]
+        assert stamps[0] > stamps[2]  # completion genuinely reordered
+        assert [o.query for o in outcomes] == chosen
+        assert [o.radius for o in outcomes] == reference
+        assert all(o.source == "worker" for o in outcomes)
+
+
 class TestPerfForkSafety:
     """The global PERF recorder across worker processes (reset + merge)."""
 

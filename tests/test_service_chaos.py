@@ -1,0 +1,219 @@
+"""Chaos tests for the certification service: fault injection in-process.
+
+Extends the ``repro.faults`` harness into the serving path: an injected
+worker death or stall mid-request must resolve every waiter with a
+degraded-or-error payload — never a hang — a garbled cache shard must
+self-heal on recompute, and a restart over the run journal must answer
+previously completed queries without recomputation.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults import FaultPlan, install_fault_plan
+from repro.scheduler import ResultCache
+from repro.scheduler.queries import model_weight_hash
+from repro.scheduler.worker import execute_query
+from repro.service import (ServiceConfig, degrade_query, parse_submission)
+from tests.service_utils import make_sentences, serving, submission
+
+
+@pytest.fixture(scope="module")
+def sentences(tiny_corpus):
+    return make_sentences(len(tiny_corpus.vocab), 4, seed=21)
+
+
+class TestWorkerDeath:
+    def test_killed_worker_rescues_to_degraded_ibp(self, tiny_model,
+                                                   sentences, tmp_path):
+        """A dead executor resolves the waiter via the IBP rescue rung."""
+        cache_dir = str(tmp_path / "cache")
+        payload = submission(sentences[0])
+        plan = FaultPlan(kind="kill-worker", max_faults=1)
+
+        async def main():
+            config = ServiceConfig(batch_window=0.0, query_timeout=60.0)
+            async with serving(tiny_model, config=config,
+                               cache_dir=cache_dir) as (service, client):
+                with install_fault_plan(plan):
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    status, done = await client.wait(ack["key"],
+                                                     timeout=60)
+                return status, done, service.metrics_payload()["counters"]
+
+        status, done, counters = asyncio.run(main())
+        assert status == 200
+        assert done["status"] == "done"
+        assert done["degraded"] is True
+        assert done["qos_rung"] == "ibp"
+        assert done["source"] == "rescue"
+        assert done["rescued"]
+        assert tuple(done["fallback_chain"])[-1] == "ibp"
+        assert counters["execution_errors"] == 1
+        assert counters["rescued_queries"] == 1
+
+        # Soundness of the rescue path: the IBP radius is cached under the
+        # *rescue* query's key, never under the full-precision key.
+        query, _ = parse_submission(payload,
+                                    model_weight_hash(tiny_model))
+        cache = ResultCache(cache_dir)
+        assert cache.get(query) is None
+        rescued = cache.get(degrade_query(query, "ibp"))
+        assert rescued is not None
+        assert rescued["degraded"] is True
+        assert rescued["radius"] == done["radius"]
+
+    def test_killed_ibp_query_fails_typed_then_retries(self, tiny_model,
+                                                       sentences):
+        """At the ladder floor there is no rescue: a typed, retryable
+        error reaches the waiter, and a resubmission recomputes."""
+        payload = submission(sentences[1], verifier="ibp")
+        plan = FaultPlan(kind="kill-worker", max_faults=1)
+
+        async def main():
+            config = ServiceConfig(batch_window=0.0, query_timeout=60.0)
+            async with serving(tiny_model, config=config) as (service,
+                                                              client):
+                with install_fault_plan(plan):
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    status, failed = await client.wait(ack["key"],
+                                                       timeout=60)
+                    assert status == 200
+                    assert failed["status"] == "error"
+                    assert failed["code"] == "execution-failed"
+                # The error is not sticky: resubmitting retries.
+                status, ack = await client.submit(payload)
+                assert status == 202 and ack["status"] == "queued"
+                status, done = await client.wait(ack["key"], timeout=60)
+                return done, service.metrics_payload()["counters"]
+
+        done, counters = asyncio.run(main())
+        assert done["status"] == "done"
+        query, _ = parse_submission(payload,
+                                    model_weight_hash(tiny_model))
+        assert done["radius"] == execute_query(tiny_model, query)[0]
+        assert counters["failed_queries"] == 1
+        assert counters["executed_queries"] == 1
+
+
+class TestStall:
+    def test_stalled_execution_times_out_to_rescue_not_a_hang(
+            self, tiny_model, sentences):
+        """A stall past the deadline resolves the waiter before the stall
+        itself would have ended — the no-hang guarantee."""
+        payload = submission(sentences[2], n_iterations=1)
+        plan = FaultPlan(kind="stall", stall_seconds=5.0, max_faults=1)
+
+        async def main():
+            config = ServiceConfig(batch_window=0.0, query_timeout=0.4)
+            async with serving(tiny_model, config=config) as (service,
+                                                              client):
+                loop = asyncio.get_running_loop()
+                with install_fault_plan(plan):
+                    start = loop.time()
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    status, done = await client.wait(ack["key"],
+                                                     timeout=30)
+                    elapsed = loop.time() - start
+                return (status, done, elapsed,
+                        service.metrics_payload()["counters"])
+
+        status, done, elapsed, counters = asyncio.run(main())
+        assert status == 200
+        assert done["status"] in ("done", "error")  # degraded-or-error
+        assert done["status"] != "done" or done["degraded"] is True
+        assert elapsed < 5.0  # resolved while the stall was still running
+        assert counters["execution_timeouts"] == 1
+
+
+class TestCacheGarble:
+    def test_garbled_shard_self_heals_on_recompute(self, tiny_model,
+                                                   sentences, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        payload = submission(sentences[3], verifier="ibp")
+        config = ServiceConfig(batch_window=0.0)
+
+        async def run_once():
+            async with serving(tiny_model, config=config,
+                               cache_dir=cache_dir) as (service, client):
+                status, ack = await client.submit(payload)
+                if ack.get("status") == "done":
+                    return ack, service.metrics_payload()["counters"]
+                status, done = await client.wait(ack["key"], timeout=60)
+                assert status == 200
+                return done, service.metrics_payload()["counters"]
+
+        # Run 1: compute and cache, then the fault garbles the shard on
+        # disk right after its successful commit.
+        plan = FaultPlan(kind="cache-garble", max_faults=1)
+        with install_fault_plan(plan):
+            first, _ = asyncio.run(run_once())
+        assert first["status"] == "done"
+
+        # Run 2 (fresh service, same cache dir): the corrupt shard is a
+        # miss — warned about, deleted — and the query recomputes to the
+        # identical radius.
+        with pytest.warns(UserWarning, match="corrupt result cache"):
+            second, counters = asyncio.run(run_once())
+        assert second["status"] == "done"
+        assert second["source"] == "executed"
+        assert second["radius"] == first["radius"]
+        assert counters["executed_queries"] == 1
+
+        # Run 3: the rewritten shard is healthy again — a pure cache hit.
+        third, counters = asyncio.run(run_once())
+        assert third["source"] == "cache"
+        assert third["radius"] == first["radius"]
+        assert counters["cache_hits"] == 1
+
+
+class TestJournalRestart:
+    def test_restart_with_journal_resumes_without_recompute(
+            self, tiny_model, sentences, tmp_path):
+        journal_path = str(tmp_path / "journal.jsonl")
+        payloads = [submission(s, verifier="ibp") for s in sentences[:2]]
+
+        async def first_run():
+            config = ServiceConfig(batch_window=0.0)
+            async with serving(tiny_model, config=config,
+                               journal_path=journal_path) as (service,
+                                                              client):
+                radii = []
+                for payload in payloads:
+                    status, ack = await client.submit(payload)
+                    status, done = await client.wait(ack["key"],
+                                                     timeout=60)
+                    assert done["status"] == "done"
+                    radii.append(done["radius"])
+                return radii
+
+        async def restarted_run():
+            config = ServiceConfig(batch_window=0.0)
+            async with serving(tiny_model, config=config,
+                               journal_path=journal_path,
+                               resume=True) as (service, client):
+                seeded = service.metrics_payload()["counters"]
+                answers = []
+                for payload in payloads:
+                    status, body = await client.submit(payload)
+                    answers.append((status, body))
+                return seeded, answers, \
+                    service.metrics_payload()["counters"]
+
+        radii = asyncio.run(first_run())
+        seeded, answers, counters = asyncio.run(restarted_run())
+
+        assert seeded["journal_seeded"] == 2
+        for (status, body), radius in zip(answers, radii):
+            # Answered straight from the replayed journal: a 200 on
+            # /submit, no queueing, no execution.
+            assert status == 200
+            assert body["status"] == "done"
+            assert body["source"] == "journal"
+            assert body["radius"] == radius
+        assert counters["result_hits"] == 2
+        assert "executed_queries" not in counters
