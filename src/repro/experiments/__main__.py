@@ -17,6 +17,11 @@ Usage::
     python -m repro.experiments 1 --batch-size 8   # coalesce compatible
                                                    # queries into stacked
                                                    # batched propagations
+    python -m repro.experiments 1 --workers 2 --supervised
+                                                   # leased worker fleet:
+                                                   # heartbeats, requeue,
+                                                   # poison quarantine,
+                                                   # SIGTERM drain
     python -m repro.experiments report --check     # join BENCH_*.json into
                                                    # REPORT.md; exit 1 on
                                                    # any regression gate
@@ -71,6 +76,17 @@ def _build_parser():
         "--workers", type=int, default=0, metavar="N",
         help="certification-query worker processes (0 = serial, default)")
     parser.add_argument(
+        "--supervised", action="store_true",
+        help="with --workers N: use the supervised leased worker pool "
+             "(heartbeats, requeue-on-death, poison quarantine, graceful "
+             "SIGTERM drain) instead of the fire-and-forget fork pool; "
+             "with serve: run service execution on the supervised pool")
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-drain deadline after SIGTERM (or POST /drain): "
+             "in-flight work gets this long to finish before being left "
+             "for --resume (default 30)")
+    parser.add_argument(
         "--batch-size", type=int, default=1, metavar="N",
         help="coalesce up to N compatible queries into one stacked "
              "batched propagation (1 = serial, default)")
@@ -121,11 +137,18 @@ def _build_parser():
 
 
 def _serve(args):
-    """Train-or-load the preset model and serve it until interrupted."""
+    """Train-or-load the preset model and serve it until interrupted.
+
+    SIGTERM triggers a graceful drain: new submissions get a typed 503
+    while every accepted waiter resolves under ``--drain-timeout``; the
+    process then exits 0 (journaled completions survive into a
+    ``--resume`` restart).
+    """
     import asyncio
+    import signal
 
     from ..scheduler import default_cache_dir
-    from ..service import CertService
+    from ..service import CertService, ServiceConfig
     from ..trace import TRACER
     from .harness import get_transformer
 
@@ -141,18 +164,42 @@ def _serve(args):
         journal_path = default_journal_path()
     if args.trace_dir:
         TRACER.enable()  # tracer-backed /result progress
-    service = CertService(model, cache_dir=cache_dir,
+    config = ServiceConfig(
+        workers=args.workers if args.supervised else 0,
+        drain_timeout=args.drain_timeout)
+    service = CertService(model, config=config, cache_dir=cache_dir,
                           journal_path=journal_path, resume=args.resume)
 
     async def run():
         port = await service.start(args.host, args.port)
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+        mode = f"supervised workers={config.workers}" \
+            if config.workers else "single executor thread"
         print(f"serving model_hash={service.model_hash} "
               f"(test accuracy {accuracy:.2f}) on "
-              f"http://{args.host}:{port} — POST /submit, GET /health, "
-              f"GET /metrics, GET /result/<key>")
+              f"http://{args.host}:{port} [{mode}] — POST /submit, "
+              f"POST /drain, GET /health, GET /metrics, "
+              f"GET /result/<key>")
+        serve_task = asyncio.ensure_future(service.serve_forever())
+        drain_task = asyncio.ensure_future(sigterm.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait({serve_task, drain_task},
+                               return_when=asyncio.FIRST_COMPLETED)
+            if sigterm.is_set():
+                print("SIGTERM: draining "
+                      f"(deadline {args.drain_timeout}s) ...")
+                report = await service.drain("SIGTERM")
+                print(f"drained in {report['drain_seconds']}s "
+                      f"({report.get('timed_out', 0)} timed out, "
+                      f"{report.get('results_held', 0)} results held)")
         finally:
+            for task in (serve_task, drain_task):
+                task.cancel()
             await service.stop()
 
     try:
@@ -190,18 +237,33 @@ def main(argv=None):
               f"choose from {sorted(_RUNNERS)}")
         return 1
 
-    from ..scheduler import configure, default_cache_dir
+    from ..scheduler import DrainedRun, configure, default_cache_dir
     cache_dir = args.cache_dir or (default_cache_dir() if args.cache
                                    else None)
     scheduler = configure(workers=args.workers, cache_dir=cache_dir,
                           timeout=args.timeout, journal_path=args.journal,
-                          resume=args.resume, batch_size=args.batch_size)
+                          resume=args.resume, batch_size=args.batch_size,
+                          supervised=args.supervised,
+                          drain_timeout=args.drain_timeout)
+    if args.supervised:
+        # SIGTERM drains the supervised run instead of killing it: the
+        # in-flight leases finish (journaled), the rest is left for a
+        # --resume restart, and the process exits 0.
+        import signal
+
+        def _on_sigterm(signum, frame):
+            scheduler.request_drain(args.drain_timeout)
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
     verbose = bool(args.workers or args.batch_size > 1 or cache_dir
                    or scheduler.journal)
     if verbose:
         journal_path = scheduler.journal.path if scheduler.journal \
             else "off"
-        print(f"scheduler: workers={args.workers}, "
+        print(f"scheduler: workers={args.workers}"
+              f"{' (supervised)' if args.supervised else ''}, "
               f"batch_size={args.batch_size}, "
               f"cache={cache_dir or 'off'}, journal={journal_path}"
               f"{' (resume)' if args.resume else ''}")
@@ -228,7 +290,13 @@ def main(argv=None):
                       f"{stats['retries']} retries, "
                       f"{stats['fallbacks']} fallbacks, "
                       f"{stats['degraded']} degraded")
+    except DrainedRun as drained:
+        print(f"[scheduler] drained: {len(drained.completed)} completed "
+              f"(journaled), {len(drained.remaining)} left for --resume")
+        return 0
     finally:
+        if args.supervised:
+            scheduler.close()
         if args.trace_dir:
             TRACER.disable()
             TRACER.reset()

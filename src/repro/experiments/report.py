@@ -17,6 +17,12 @@ fails, so CI can run the report as a quality bar:
                   identical to serial execution, in-flight dedup and
                   coalescing actually observed, injected faults resolved
                   degraded-or-error;
+* pool          — the supervised-pool crash soak: zero hangs, radii
+                  bitwise identical to serial for non-poisoned queries,
+                  every injected worker death requeued or poisoned, the
+                  poison answered only from the IBP floor under its
+                  rewritten key, zero queries lost across a mid-soak
+                  SIGTERM drain plus ``--resume`` restart;
 * trace         — disabled-tracer overhead under budget, deterministic
                   merge.
 
@@ -141,6 +147,28 @@ def build_checks(results):
                service.get("rescue_resolved"),
                str(service.get("rescue_status")))
 
+    pool = results.get("pool")
+    if pool:
+        hangs = pool.get("hangs", -1)
+        _check(rows, "pool", "no hangs (both phases met their deadlines)",
+               hangs == 0, str(hangs))
+        _check(rows, "pool", "non-poisoned radii bitwise identical to "
+               "serial", pool.get("radii_identical"),
+               str(pool.get("radii_identical")))
+        deaths = pool.get("worker_deaths", 0)
+        _check(rows, "pool", "injected worker deaths >= 3", deaths >= 3,
+               str(deaths))
+        _check(rows, "pool", "every injected death requeued or poisoned",
+               pool.get("deaths_accounted"),
+               f"{pool.get('lease_deaths')} deaths = "
+               f"{pool.get('requeued_leases')} requeued + "
+               f"{pool.get('poisoned_queries')} poisoned")
+        _check(rows, "pool", "poison answered only from the IBP floor "
+               "under its rewritten key", pool.get("poison_quarantined"),
+               str(pool.get("poison_quarantined")))
+        _check(rows, "pool", "zero queries lost across drain + --resume",
+               pool.get("zero_loss"), str(pool.get("zero_loss")))
+
     trace = results.get("trace")
     if trace:
         overhead = trace.get("disabled_overhead_fraction", 1.0)
@@ -173,6 +201,13 @@ def _headline(key, data):
                 f"{data.get('latency_p95', 0):.2f}s, "
                 f"dedup {data.get('dedup_hits', 0)}, "
                 f"{data.get('coalesced_batches', 0)} coalesced")
+    if key == "pool":
+        return (f"{data.get('n_queries', 0)} queries, "
+                f"{data.get('worker_deaths', 0)} deaths -> "
+                f"{data.get('requeued_leases', 0)} requeued / "
+                f"{data.get('poisoned_queries', 0)} poisoned, "
+                f"{data.get('hangs', '?')} hangs, drain "
+                f"{(data.get('drain') or {}).get('drain_seconds') or 0:.2f}s")
     if key == "trace":
         return (f"disabled overhead "
                 f"{data.get('disabled_overhead_fraction', 0):+.1%}, "

@@ -35,6 +35,26 @@ Fault kinds
                     and its atomic rename (a crashed writer mid-commit).
 ``cache-garble``    truncate the shard file right after a successful
                     commit (disk corruption; the next read must recover).
+``heartbeat-suppress``  a supervised-pool worker executes its lease but
+                    suppresses *every* outgoing message — heartbeats and
+                    the result alike (a network partition in miniature);
+                    the supervisor must detect the silence, kill the
+                    worker and requeue the lease.
+``boot-kill``       a freshly spawned supervised-pool worker ``os._exit``s
+                    before its first lease (a respawn storm; the
+                    supervisor's exponential backoff and dead-slot
+                    accounting must keep the run live).
+
+Supervised-pool faults are *parent-side directives*: the supervisor asks
+:func:`fault_lease_directives` / :func:`fault_spawn_directive` in its own
+process and ships the resulting instruction to the worker inside the
+lease (or spawn) message. That keeps ``max_faults`` accounting in one
+deterministic place — the parent — instead of scattering independent
+per-worker counters across forked children. A plan's ``target_key``
+restricts which query keys the seeded draws may fire on, and
+``poison_key`` marks a key prefix whose leases are killed *every* time
+(bypassing ``max_faults``): the deterministic way to manufacture a
+poison query that crosses the supervisor's quarantine threshold.
 
 Every injection decision is a deterministic function of (plan seed,
 injection count): ``probability`` draws come from a seeded generator and
@@ -55,13 +75,16 @@ import numpy as np
 __all__ = ["FaultPlan", "FaultInjector", "InjectedWorkerDeath",
            "install_fault_plan", "active_injector", "reset_fault_state",
            "fault_zonotope", "fault_worker_entry", "fault_service_entry",
-           "fault_cache_commit", "fault_cache_committed", "ENV_FAULT_PLAN"]
+           "fault_cache_commit", "fault_cache_committed",
+           "fault_lease_directives", "fault_spawn_directive",
+           "ENV_FAULT_PLAN"]
 
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
 _ZONOTOPE_KINDS = ("nan", "inf", "overscale")
 _KINDS = _ZONOTOPE_KINDS + ("kill-worker", "stall", "cache-kill",
-                            "cache-garble")
+                            "cache-garble", "heartbeat-suppress",
+                            "boot-kill")
 
 # Exit code of an injected process kill — distinguishable from real crashes
 # in scheduler smoke logs.
@@ -100,6 +123,13 @@ class FaultPlan:
         Per-process cap on injections; ``None`` means unlimited.
     stall_seconds:
         Sleep length for the ``stall`` kind.
+    target_key:
+        Restricts supervised-pool lease directives to query keys with
+        this prefix (``None`` = any key is eligible).
+    poison_key:
+        Query-key prefix whose supervised-pool leases are *always*
+        killed, bypassing ``probability`` and ``max_faults`` — the
+        deterministic poison-query generator.
     """
 
     kind: str
@@ -108,6 +138,8 @@ class FaultPlan:
     probability: float = 1.0
     max_faults: int = None
     stall_seconds: float = 5.0
+    target_key: str = None
+    poison_key: str = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -129,6 +161,10 @@ class FaultPlan:
                    "stall_seconds": self.stall_seconds}
         if self.max_faults is not None:
             payload["max_faults"] = self.max_faults
+        if self.target_key is not None:
+            payload["target_key"] = self.target_key
+        if self.poison_key is not None:
+            payload["poison_key"] = self.poison_key
         return json.dumps(payload)
 
 
@@ -190,6 +226,39 @@ class FaultInjector:
                                       "start")
         if kind == "stall" and self._should_fire():
             time.sleep(self.plan.stall_seconds)
+
+    # ------------------------------------------------------- supervised pool
+    def lease_directives(self, query_key):
+        """Parent-side directives to ship with a supervised-pool lease.
+
+        Returns ``None`` (no fault) or a small dict the worker obeys at
+        lease start: ``{"kill": True}`` (``os._exit``), ``{"stall": s}``
+        (sleep with heartbeats flowing but no progress — exercising the
+        progress-gated deadline, not the mere liveness check) or
+        ``{"suppress": True}`` (execute but send nothing back). The
+        decision is taken *here*, in the supervisor's process, so one
+        seeded counter governs the whole fleet.
+        """
+        plan = self.plan
+        if plan.poison_key and query_key.startswith(plan.poison_key):
+            return {"kill": True}
+        if plan.kind not in ("kill-worker", "stall", "heartbeat-suppress"):
+            return None
+        if plan.target_key and not query_key.startswith(plan.target_key):
+            return None
+        if not self._should_fire():
+            return None
+        if plan.kind == "kill-worker":
+            return {"kill": True}
+        if plan.kind == "stall":
+            return {"stall": plan.stall_seconds}
+        return {"suppress": True}
+
+    def spawn_directive(self):
+        """Parent-side boot directive for a freshly spawned pool worker."""
+        if self.plan.kind == "boot-kill" and self._should_fire():
+            return {"boot_kill": True}
+        return None
 
     # ----------------------------------------------------------------- cache
     def cache_commit(self, tmp_path):
@@ -274,6 +343,22 @@ def fault_service_entry():
     injector = active_injector()
     if injector is not None:
         injector.service_entry()
+
+
+def fault_lease_directives(query_key):
+    """Supervisor hook when leasing ``query_key`` to a pool worker."""
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.lease_directives(query_key)
+
+
+def fault_spawn_directive():
+    """Supervisor hook when (re)spawning a pool worker process."""
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.spawn_directive()
 
 
 def fault_cache_commit(tmp_path):

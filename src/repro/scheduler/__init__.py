@@ -16,6 +16,8 @@ from .queries import (CertQuery, model_weight_hash, corpus_fingerprint,
                       expand_word_queries)
 from .cache import ResultCache, default_cache_dir
 from .journal import RunJournal, default_journal_path
+from .pool import (DrainedRun, PoisonedQueryError, PoolResult,
+                   WorkerSupervisor)
 from .scheduler import QueryOutcome, CertScheduler, merge_outcome_perf
 from .worker import execute_query
 
@@ -24,6 +26,7 @@ __all__ = [
     "verifier_config_items", "positions_for", "expand_word_queries",
     "ResultCache", "default_cache_dir",
     "RunJournal", "default_journal_path",
+    "WorkerSupervisor", "PoolResult", "PoisonedQueryError", "DrainedRun",
     "QueryOutcome", "CertScheduler", "merge_outcome_perf",
     "execute_query",
     "get_default_scheduler", "set_default_scheduler", "configure",
@@ -52,7 +55,8 @@ def set_default_scheduler(scheduler):
 
 
 def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
-              resume=False, batch_size=1):
+              resume=False, batch_size=1, supervised=False,
+              lease_timeout=None, drain_timeout=30.0):
     """Install a fresh default scheduler from knob values; returns it.
 
     ``journal_path`` enables the crash-safe run journal there (``resume``
@@ -60,7 +64,10 @@ def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
     truncated for a fresh run). ``resume`` alone journals at the default
     :func:`default_journal_path`. ``batch_size > 1`` coalesces compatible
     queries into stacked batched propagations (see
-    :class:`CertScheduler`).
+    :class:`CertScheduler`). ``supervised=True`` (with ``workers > 0``)
+    swaps the fork pool for the leased, heartbeat-monitored
+    :class:`WorkerSupervisor`; ``lease_timeout`` / ``drain_timeout``
+    tune its liveness and graceful-drain deadlines.
     """
     journal = None
     if journal_path or resume:
@@ -70,4 +77,7 @@ def configure(workers=0, cache_dir=None, timeout=None, journal_path=None,
                                                cache_dir=cache_dir,
                                                timeout=timeout,
                                                journal=journal,
-                                               batch_size=batch_size))
+                                               batch_size=batch_size,
+                                               supervised=supervised,
+                                               lease_timeout=lease_timeout,
+                                               drain_timeout=drain_timeout))

@@ -8,19 +8,29 @@ model weight hash, the corpus fingerprint and every query parameter, so a
 hit is valid by construction — there is no separate invalidation step:
 retraining the model or regenerating the corpus simply changes the key.
 
-Writes are atomic (temp file + ``os.replace``) and all cache I/O happens in
-the scheduler's parent process, so pool workers never race on the files.
-A corrupt or truncated entry (killed process, disk hiccup) is treated as a
-miss and deleted, mirroring the model-zoo cache recovery in
-``repro.experiments.harness``.
+Writes are atomic (temp file + ``os.replace``) and additionally serialized
+per shard with an advisory ``fcntl.flock`` on ``<shard>/.lock``: with the
+supervised pool (or a service restarting under load) *multiple processes*
+can complete entries for the same shard concurrently, and the lock keeps
+their mkstemp/replace sequences from interleaving. The read path stays
+lock-free — ``os.replace`` is atomic, so a reader always sees either the
+old or the new complete entry, never a torn one. A corrupt or truncated
+entry (killed process, disk hiccup) is treated as a miss and deleted,
+mirroring the model-zoo cache recovery in ``repro.experiments.harness``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import warnings
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: writes stay atomic, just unserialized
+    fcntl = None
 
 from ..faults import fault_cache_commit, fault_cache_committed
 
@@ -47,6 +57,25 @@ class ResultCache:
     def _entry_path(self, query):
         key = query.key()
         return os.path.join(self.path, key[:2], key + ".json")
+
+    @contextlib.contextmanager
+    def _shard_lock(self, shard_dir):
+        """Advisory per-shard write lock (no-op where flock is missing).
+
+        Blocks until the shard is free; held only across one entry's
+        mkstemp/dump/replace, so contention is bounded by a single JSON
+        write. Readers never take it.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = os.path.join(shard_dir, ".lock")
+        with open(lock_path, "a+") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
 
     # --------------------------------------------------------------- lookup
     def get(self, query):
@@ -92,22 +121,24 @@ class ResultCache:
             "fallback_chain": list(fallback_chain),
             "fault": fault,
         }
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(payload, f)
-            # Chaos hook (no-op without an active REPRO_FAULT_PLAN): the
-            # cache-kill fault exits here, leaving only the temp file — the
-            # exact crash window the atomic-replace scheme must absorb.
-            fault_cache_commit(tmp)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._shard_lock(os.path.dirname(path)):
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as f:
+                    json.dump(payload, f)
+                # Chaos hook (no-op without an active REPRO_FAULT_PLAN):
+                # the cache-kill fault exits here, leaving only the temp
+                # file — the exact crash window the atomic-replace scheme
+                # must absorb.
+                fault_cache_commit(tmp)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
         # cache-garble fault: corrupt the committed shard post-rename, so
         # the next get() must detect and self-heal (delete + miss).
         fault_cache_committed(path)

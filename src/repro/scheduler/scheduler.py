@@ -11,7 +11,10 @@ order. Execution strategy per run:
    processes, each guarded by a per-query timeout, one retry, and a final
    graceful fallback to in-process execution (also taken wholesale when
    ``workers == 0``, when the platform lacks fork, or when the pool cannot
-   be created);
+   be created); with ``supervised=True`` the fire-and-forget pool is
+   replaced by the leased, heartbeat-monitored
+   :class:`~repro.scheduler.pool.WorkerSupervisor` (requeue on worker
+   death, poison-query quarantine to the IBP floor, graceful drain);
 3. completed misses are written back to the cache, and per-worker
    ``repro.perf`` snapshots ride along on each outcome for the caller to
    aggregate (:func:`merge_outcome_perf` — deterministic query-key order,
@@ -30,6 +33,7 @@ from dataclasses import dataclass
 from ..perf import PerfRecorder
 from ..trace import TRACER
 from .cache import ResultCache
+from .pool import DrainedRun, WorkerSupervisor
 from .worker import (_pool_init, _pool_run, execute_query,
                      execute_query_batch)
 
@@ -43,6 +47,9 @@ class QueryOutcome:
     ``source`` records how the radius was obtained: ``"journal"`` (this
     run's crash-recovery record), ``"cache"``, ``"worker"``,
     ``"worker-retry"``, ``"batched"`` (a coalesced stacked propagation),
+    ``"poisoned"`` (a quarantined query answered from the IBP floor under
+    a rewritten key — always degraded, with the
+    ``PoisonedQueryError`` detail in ``fault``),
     or ``"inprocess"`` (the serial path and every fallback). ``degraded`` is True when any certification of
     the query's binary search fell down the verifier's precision ladder;
     ``fallback_chain`` / ``fault`` carry the first such event's detail.
@@ -89,6 +96,23 @@ class CertScheduler:
     ----------
     workers:
         Pool size; ``0`` keeps the classic serial in-process path.
+    supervised:
+        With ``workers > 0``, route misses through the
+        :class:`~repro.scheduler.pool.WorkerSupervisor` (long-lived leased
+        workers, heartbeat liveness, requeue-on-death, poison quarantine,
+        graceful drain) instead of the legacy fire-and-forget fork pool.
+        A query quarantined as poisoned is answered from the IBP floor
+        under an explicitly rewritten query and is journaled/cached only
+        under that rewritten key — the looser radius never impersonates
+        the original query. A drain request surfaces as
+        :class:`~repro.scheduler.pool.DrainedRun` out of :meth:`run`
+        (everything completed before the drain is already journaled).
+    lease_timeout:
+        Supervised mode: seconds a lease may go without *progress* before
+        its worker is declared hung and killed (``None`` → 30).
+    drain_timeout:
+        Supervised mode: seconds granted to in-flight leases after a
+        drain request before they are killed and left for ``--resume``.
     batch_size:
         Coalesce up to this many compatible cache-missed queries (same
         :meth:`CertQuery.batch_key`: weights, token count, norm, config,
@@ -117,7 +141,9 @@ class CertScheduler:
     """
 
     def __init__(self, workers=0, cache_dir=None, timeout=None,
-                 journal=None, batch_size=1):
+                 journal=None, batch_size=1, supervised=False,
+                 lease_timeout=None, heartbeat_interval=None,
+                 poison_threshold=2, drain_timeout=30.0):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if batch_size < 1:
@@ -125,9 +151,19 @@ class CertScheduler:
         self.workers = int(workers)
         self.batch_size = int(batch_size)
         self.timeout = timeout
+        self.supervised = bool(supervised)
+        self.lease_timeout = 30.0 if lease_timeout is None \
+            else float(lease_timeout)
+        self.heartbeat_interval = 0.5 if heartbeat_interval is None \
+            else float(heartbeat_interval)
+        self.poison_threshold = int(poison_threshold)
+        self.drain_timeout = float(drain_timeout)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.journal = journal
         self.last_stats = None
+        self._supervisor = None
+        self._drain_requested = False
+        self._drain_timeout_override = None
 
     # ------------------------------------------------------------------ run
     def run(self, model, queries):
@@ -139,7 +175,7 @@ class CertScheduler:
             "batch_size": self.batch_size,
             "cache_hits": 0, "cache_misses": 0, "journal_hits": 0,
             "executed": {"worker": 0, "worker-retry": 0, "inprocess": 0,
-                         "batched": 0},
+                         "batched": 0, "poisoned": 0},
             "retries": 0, "fallbacks": 0, "degraded": 0,
             "batches": 0, "batched_queries": 0,
         }
@@ -181,6 +217,9 @@ class CertScheduler:
             if self.batch_size > 1 and len(miss_indices) > 1:
                 self._run_batched(model, queries, miss_indices, outcomes,
                                   stats)
+            elif self.supervised and self.workers > 0 and _fork_available():
+                self._run_supervised(model, queries, miss_indices,
+                                     outcomes, stats)
             elif self.workers > 0 and len(miss_indices) > 1 \
                     and _fork_available():
                 self._run_pool(model, queries, miss_indices, outcomes,
@@ -197,6 +236,11 @@ class CertScheduler:
             if self.cache:
                 for index in miss_indices:
                     outcome = outcomes[index]
+                    if outcome.source == "poisoned":
+                        # Poisoned answers are cached under the rewritten
+                        # IBP query only (done at commit time) — never
+                        # under the original key.
+                        continue
                     self.cache.put(outcome.query, outcome.radius,
                                    outcome.seconds, outcome.perf,
                                    degraded=outcome.degraded,
@@ -266,6 +310,104 @@ class CertScheduler:
         stats["executed"]["inprocess"] += 1
         return QueryOutcome(query=query, radius=radius, seconds=seconds,
                             perf=perf, source="inprocess", **meta)
+
+    # ----------------------------------------------------- supervised pool
+    def request_drain(self, timeout=None):
+        """Ask a supervised run to drain (signal-handler safe).
+
+        The in-flight leases finish (or are killed at the drain
+        deadline); :meth:`run` then raises
+        :class:`~repro.scheduler.pool.DrainedRun`. Every outcome
+        completed before the drain is already journaled.
+        """
+        self._drain_requested = True
+        self._drain_timeout_override = timeout
+        if self._supervisor is not None:
+            self._supervisor.request_drain(timeout)
+
+    def close(self):
+        """Terminate the supervised worker fleet, if one was started."""
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
+
+    def _ensure_supervisor(self, model):
+        """Lazily build the fleet; ``None`` when it cannot be created."""
+        if self._supervisor is not None:
+            return self._supervisor
+        try:
+            context = multiprocessing.get_context("fork")
+            supervisor = WorkerSupervisor(
+                model, workers=self.workers, context=context,
+                heartbeat_interval=self.heartbeat_interval,
+                lease_timeout=self.lease_timeout,
+                poison_threshold=self.poison_threshold,
+                drain_timeout=self.drain_timeout)
+            supervisor.start()
+        except Exception:
+            return None
+        if self._drain_requested:
+            supervisor.request_drain(self._drain_timeout_override)
+        self._supervisor = supervisor
+        return supervisor
+
+    def _run_supervised(self, model, queries, miss_indices, outcomes,
+                        stats):
+        """Route misses through the supervised leased-worker fleet.
+
+        Outcomes commit (and journal) incrementally through the
+        supervisor's ``on_result`` hook, so a drained or killed run keeps
+        everything that completed. Poisoned results journal and cache
+        under the rewritten IBP query; the outcome slot keeps the
+        *original* query so callers see which submission degraded.
+        """
+        supervisor = self._ensure_supervisor(model)
+        if supervisor is None:
+            stats["fallbacks"] += 1
+            for index in miss_indices:
+                outcomes[index] = self._run_inprocess(model, queries[index],
+                                                      stats)
+                self._journal_append(outcomes[index])
+            return
+
+        def on_result(result):
+            source = result.source
+            stats["executed"][source] = \
+                stats["executed"].get(source, 0) + 1
+            if result.attempts > 1 and source == "worker-retry":
+                stats["retries"] += result.attempts - 1
+            outcome = QueryOutcome(
+                query=result.query, radius=result.radius,
+                seconds=result.seconds, perf=result.perf,
+                source=source, **result.meta)
+            outcomes[miss_indices[result.index]] = outcome
+            if result.poisoned:
+                twin_outcome = QueryOutcome(
+                    query=result.executed_query, radius=result.radius,
+                    seconds=result.seconds, perf=result.perf,
+                    source=source, **result.meta)
+                self._journal_append(twin_outcome)
+                if self.cache:
+                    self.cache.put(
+                        twin_outcome.query, twin_outcome.radius,
+                        twin_outcome.seconds, twin_outcome.perf,
+                        degraded=twin_outcome.degraded,
+                        fallback_chain=twin_outcome.fallback_chain,
+                        fault=twin_outcome.fault)
+            else:
+                self._journal_append(outcome)
+
+        before = dict(supervisor.stats)
+        try:
+            supervisor.run([queries[index] for index in miss_indices],
+                           on_result=on_result)
+        finally:
+            stats["supervised"] = {
+                key: supervisor.stats[key] - before.get(key, 0)
+                for key in supervisor.stats}
+            if supervisor.drain_seconds is not None:
+                stats["supervised"]["drain_seconds"] = \
+                    supervisor.drain_seconds
 
     def _run_pool(self, model, queries, miss_indices, outcomes, stats):
         """Fan misses across a fork pool; never raises — falls back."""

@@ -17,8 +17,9 @@ and talk to it with ``curl`` or :class:`repro.service.ServiceClient`.
 from .admission import (AdmissionController, TokenBucket, QOS_RUNGS,
                         degrade_query, rung_for_query)
 from .client import ServiceClient
-from .protocol import (BadRequest, NotFound, Overloaded, RateLimited,
-                       ServiceError, parse_submission, outcome_payload)
+from .protocol import (BadRequest, Draining, NotFound, Overloaded,
+                       RateLimited, ServiceError, parse_submission,
+                       outcome_payload)
 from .server import CertService, ServiceConfig
 from .tenancy import TenantPolicy, TenantRegistry
 
@@ -26,7 +27,8 @@ __all__ = [
     "AdmissionController", "TokenBucket", "QOS_RUNGS", "degrade_query",
     "rung_for_query",
     "ServiceClient",
-    "BadRequest", "NotFound", "Overloaded", "RateLimited", "ServiceError",
+    "BadRequest", "Draining", "NotFound", "Overloaded", "RateLimited",
+    "ServiceError",
     "parse_submission", "outcome_payload",
     "CertService", "ServiceConfig",
     "TenantPolicy", "TenantRegistry",

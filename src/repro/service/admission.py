@@ -56,12 +56,15 @@ class TokenBucket:
         self._updated = float(now)
 
     def _refill(self, now):
-        if now > self._updated:
+        # Time never runs backwards for the bucket: a backwards-stepping
+        # ``now`` (clock skew between callers, NTP jumps) clamps to a zero
+        # elapsed delta — it can neither mint tokens nor drain them — and
+        # the high-water mark is kept so the skewed interval is not
+        # re-credited once the clock catches up.
+        elapsed = max(0.0, float(now) - self._updated)
+        if elapsed > 0.0:
             self._tokens = min(self.burst,
-                               self._tokens + (now - self._updated)
-                               * self.rate)
-        # Time never runs backwards for the bucket: a stale ``now`` (clock
-        # skew between callers) neither refunds nor drains tokens.
+                               self._tokens + elapsed * self.rate)
         self._updated = max(self._updated, float(now))
 
     def tokens(self, now):

@@ -30,7 +30,7 @@ from ..scheduler.queries import (CertQuery, corpus_fingerprint,
 from ..verify import VerifierConfig
 
 __all__ = ["ServiceError", "BadRequest", "NotFound", "RateLimited",
-           "Overloaded", "parse_submission", "outcome_payload",
+           "Overloaded", "Draining", "parse_submission", "outcome_payload",
            "error_payload", "MAX_SENTENCE_TOKENS", "MAX_SEARCH_ITERATIONS"]
 
 # Submission hard caps: a public endpoint must bound the work one request
@@ -71,6 +71,12 @@ class Overloaded(ServiceError):
 
     status = 503
     code = "overloaded"
+
+
+class Draining(Overloaded):
+    """The service is draining for restart; resubmit elsewhere (503)."""
+
+    code = "draining"
 
 
 def error_payload(error):

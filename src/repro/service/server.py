@@ -39,6 +39,18 @@ process-global ``PERF``/``TRACER`` recorders are not thread-safe; the
 service's concurrency win is in dedup, coalescing and admission, not in
 parallel propagation. The rescue rung runs on its own thread so a stalled
 execution cannot wedge recovery.
+
+With ``ServiceConfig.workers > 0`` the executor thread hands batches to
+the supervised multi-process pool
+(:class:`~repro.scheduler.pool.WorkerSupervisor`): leased worker
+processes with heartbeat liveness, requeue-on-death, and poison-query
+quarantine to the IBP floor (journaled/cached only under the rewritten
+IBP key). ``POST /drain`` — or SIGTERM via the CLI — triggers a graceful
+drain: new submissions get a typed 503 (``draining``) while every
+already-accepted waiter resolves (done/degraded/typed-error) under
+``drain_timeout``; ``drain_seconds`` and the supervisor counters
+(``respawns``, ``requeued_leases``, ``poisoned_queries``) surface in
+``/metrics``.
 """
 
 from __future__ import annotations
@@ -54,13 +66,14 @@ from ..faults import fault_service_entry
 from ..perf import PerfRecorder
 from ..scheduler.cache import ResultCache
 from ..scheduler.journal import RunJournal
+from ..scheduler.pool import WorkerSupervisor
 from ..scheduler.queries import model_weight_hash
 from ..scheduler.worker import execute_query, execute_query_batch
 from ..trace import TRACER
 from .admission import AdmissionController, degrade_query, rung_for_query
-from .protocol import (BadRequest, NotFound, Overloaded, RateLimited,
-                       ServiceError, error_payload, outcome_payload,
-                       parse_submission)
+from .protocol import (BadRequest, Draining, NotFound, Overloaded,
+                       RateLimited, ServiceError, error_payload,
+                       outcome_payload, parse_submission)
 from .tenancy import TenantPolicy, TenantRegistry
 
 __all__ = ["ServiceConfig", "CertService"]
@@ -78,6 +91,11 @@ class ServiceConfig:
     query_timeout: float = 120.0   # execution deadline before rescue
     default_rate: float = 50.0     # tenant bucket: tokens per second
     default_burst: int = 20        # tenant bucket: capacity
+    workers: int = 0               # >0: supervised multi-process pool
+    lease_timeout: float = 30.0    # supervised: no-progress kill deadline
+    heartbeat_interval: float = 0.5  # supervised: worker heartbeat cadence
+    poison_threshold: int = 2      # worker kills before quarantine
+    drain_timeout: float = 30.0    # graceful-drain deadline (seconds)
 
 
 class _Entry:
@@ -148,6 +166,9 @@ class CertService:
         self._executor = None
         self._rescue_executor = None
         self._wakeup = None
+        self._supervisor = None
+        self._draining = False
+        self._drain_seconds = None
 
         if self.journal is not None:
             for key, entry in self.journal.replay().items():
@@ -168,6 +189,18 @@ class CertService:
             max_workers=1, thread_name_prefix="cert-exec")
         self._rescue_executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="cert-rescue")
+        if self.config.workers > 0 and self._supervisor is None:
+            try:
+                self._supervisor = WorkerSupervisor(
+                    self.model, workers=self.config.workers,
+                    heartbeat_interval=self.config.heartbeat_interval,
+                    lease_timeout=self.config.lease_timeout,
+                    poison_threshold=self.config.poison_threshold,
+                    drain_timeout=self.config.drain_timeout).start()
+            except Exception:
+                # No fork / spawn failure: stay on the thread executor.
+                self._supervisor = None
+                self._count("supervisor_unavailable")
         self._started_monotonic = self._loop.time()
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         self._server = await asyncio.start_server(self._handle_connection,
@@ -200,6 +233,9 @@ class CertService:
         for executor in (self._executor, self._rescue_executor):
             if executor is not None:
                 executor.shutdown(wait=False)
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
 
     # --------------------------------------------------------------- metrics
     def _count(self, name, k=1):
@@ -236,6 +272,10 @@ class CertService:
             if hits + misses else None,
             "tenants": self.tenants.snapshot(self._now()),
             "perf": self._perf.snapshot(),
+            "draining": self._draining,
+            "drain_seconds": self._drain_seconds,
+            "supervisor": dict(self._supervisor.stats)
+            if self._supervisor is not None else None,
         }
 
     # ---------------------------------------------------------------- submit
@@ -244,6 +284,10 @@ class CertService:
         query, tenant = parse_submission(payload, self.model_hash)
         now = self._now()
         self._count("submitted")
+        if self._draining:
+            self._count("rejected_draining")
+            raise Draining("service is draining for restart; "
+                           "resubmit once it is back")
         if not self.tenants.try_acquire(tenant, now):
             self._count("rejected_rate_limited")
             raise RateLimited(
@@ -411,7 +455,16 @@ class CertService:
 
     # ------------------------------------------------------------- execution
     def _run_queries(self, queries):
-        """Executor-thread entry: the pure engine call (chaos-hooked)."""
+        """Executor-thread entry: the pure engine call (chaos-hooked).
+
+        Supervised mode routes through the worker fleet instead — there
+        the chaos entry hook is consulted parent-side per lease
+        (``fault_lease_directives``), so ``fault_service_entry`` is
+        deliberately bypassed: injected deaths hit worker processes, not
+        the service.
+        """
+        if self._supervisor is not None:
+            return self._supervisor.run_batch(queries)
         fault_service_entry()
         if len(queries) == 1:
             return [execute_query(self.model, queries[0])]
@@ -441,6 +494,9 @@ class CertService:
             self._count("coalesced_batches")
             self._count("coalesced_queries", len(batch))
         self._count("executed_queries", len(batch))
+        if self._supervisor is not None:
+            self._finish_pool_results(batch, results)
+            return
         for entry, (radius, seconds, perf, meta) in zip(batch, results):
             key = entry.query.key()
             payload = outcome_payload(
@@ -452,6 +508,44 @@ class CertService:
                 fault=meta.get("fault"))
             self._finish(key, payload, query=entry.query,
                          journal_source=payload["source"], perf=perf,
+                         entry=entry)
+
+    def _finish_pool_results(self, batch, results):
+        """Commit supervised-pool results; poisoned ones mirror rescue.
+
+        A poisoned answer came from the IBP floor under the rewritten
+        query — it is cached/journaled under *that* key only (the
+        in-memory result map serves it for the original key, flagged
+        degraded with the ``PoisonedQueryError`` detail), exactly the
+        rescue rung's impersonation rule.
+        """
+        for entry, result in zip(batch, results):
+            key = entry.query.key()
+            meta = result.meta
+            if result.poisoned:
+                self._count("poisoned_queries")
+                self.tenants.count(entry.tenant, "poisoned")
+                payload = outcome_payload(
+                    key, radius=result.radius, seconds=result.seconds,
+                    source="poisoned", tenant=entry.tenant,
+                    qos_rung="ibp", degraded=True,
+                    fallback_chain=meta.get("fallback_chain") or (),
+                    fault=meta.get("fault"))
+                self._finish(key, payload, query=result.executed_query,
+                             journal_source="poisoned", perf=result.perf,
+                             entry=entry)
+                continue
+            if result.source == "worker-retry":
+                self._count("requeued_leases_served")
+            payload = outcome_payload(
+                key, radius=result.radius, seconds=result.seconds,
+                source=result.source, tenant=entry.tenant,
+                qos_rung=entry.rung,
+                degraded=meta.get("degraded", False),
+                fallback_chain=meta.get("fallback_chain") or (),
+                fault=meta.get("fault"))
+            self._finish(key, payload, query=entry.query,
+                         journal_source=result.source, perf=result.perf,
                          entry=entry)
 
     async def _rescue(self, batch, reason):
@@ -492,10 +586,10 @@ class CertService:
             self._finish(key, payload, query=rescue_query,
                          journal_source="rescue", perf=perf, entry=entry)
 
-    def _fail(self, entry, key, reason):
+    def _fail(self, entry, key, reason, code="execution-failed"):
         self._count("failed_queries")
         self.tenants.count(entry.tenant, "failed")
-        payload = {"status": "error", "code": "execution-failed",
+        payload = {"status": "error", "code": code,
                    "key": key, "tenant": entry.tenant,
                    "qos_rung": entry.rung, "error": reason}
         self._errors[key] = payload
@@ -528,6 +622,44 @@ class CertService:
                                 degraded=payload["degraded"],
                                 fallback_chain=payload["fallback_chain"],
                                 fault=payload["fault"])
+
+    # ------------------------------------------------------------------ drain
+    async def drain(self, reason="drain requested"):
+        """Gracefully drain: refuse new work, resolve every waiter.
+
+        New submissions get a typed 503 (``draining``) immediately; the
+        dispatcher keeps executing already-accepted queries. Waiters
+        still unresolved at ``drain_timeout`` fail with a typed
+        ``drained`` error — done, degraded or typed-error for every
+        accepted query, never a hang. Journaled completions survive into
+        a ``--resume`` restart. Returns the drain report (also the body
+        of ``POST /drain``). Idempotent; concurrent calls share one
+        drain.
+        """
+        if self._draining:
+            return {"status": "draining", "drain_seconds":
+                    self._drain_seconds, "reason": reason}
+        self._draining = True
+        self._count("drains")
+        start = self._now()
+        deadline = start + self.config.drain_timeout
+        while (self._pending or self._inflight) and self._now() < deadline:
+            await asyncio.sleep(0.02)
+        timed_out = 0
+        for entry in list(self._inflight.values()):
+            if not entry.future.done():
+                timed_out += 1
+            self._fail(entry, entry.query.key(),
+                       f"drained before completion: {reason}",
+                       code="drained")
+        self._pending.clear()
+        self._drain_seconds = round(self._now() - start, 6)
+        if self._supervisor is not None:
+            self._supervisor.request_drain()
+        return {"status": "drained", "reason": reason,
+                "drain_seconds": self._drain_seconds,
+                "timed_out": timed_out,
+                "results_held": len(self._results)}
 
     # ------------------------------------------------------------ HTTP layer
     async def _handle_connection(self, reader, writer):
@@ -594,6 +726,8 @@ class CertService:
             return 200, self.health_payload()
         if method == "GET" and path == "/metrics":
             return 200, self.metrics_payload()
+        if method == "POST" and path == "/drain":
+            return 200, await self.drain("drain endpoint")
         raise NotFound(f"no route for {method} {path}")
 
 

@@ -58,6 +58,25 @@ class TestTokenBucket:
         assert bucket.tokens(3.0) == balance
         assert bucket.tokens(10.0) == balance
 
+    def test_backwards_stepping_time_source_mints_nothing(self):
+        """A clock that jumps backwards (NTP step, skewed caller) can't
+        refill the bucket: only *forward* progress past the high-water
+        mark credits tokens."""
+        bucket = TokenBucket(rate=10.0, burst=5, now=100.0)
+        for _ in range(5):
+            assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)  # empty at t=100
+
+        # A time source stepping backwards in big and small jumps: every
+        # call is in the bucket's past, so the balance must stay 0.
+        for t in (99.9, 90.0, 50.0, 0.0, -1000.0):
+            assert bucket.tokens(t) == 0.0
+            assert not bucket.try_acquire(t)
+        # The backwards excursion is not re-credited when the clock
+        # catches back up: refill resumes from the t=100 high-water mark.
+        assert bucket.tokens(100.05) == pytest.approx(0.5)
+        assert bucket.tokens(100.1) == pytest.approx(1.0)
+
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             TokenBucket(rate=-1.0, burst=5)

@@ -1,0 +1,136 @@
+"""Two-process ResultCache shard hammering: writes serialize, reads don't.
+
+The supervised pool (and a service restarting under load) can have several
+*processes* completing entries in the same cache shard concurrently. The
+per-shard ``fcntl.flock`` added to :meth:`ResultCache.put` must keep their
+mkstemp/replace sequences from interleaving — while the read path stays
+lock-free and always sees a complete entry.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.scheduler.cache import ResultCache
+
+fcntl = pytest.importorskip("fcntl")
+
+
+class _StubQuery:
+    """Minimal query double with a controllable key (fixes the shard)."""
+
+    def __init__(self, key):
+        self._key = key
+
+    def key(self):
+        return self._key
+
+    def describe(self):
+        return {"stub": self._key}
+
+
+def _hammer(cache_dir, key, tag, rounds):
+    """Child: repeatedly rewrite one shard entry with tagged payloads."""
+    cache = ResultCache(cache_dir)
+    query = _StubQuery(key)
+    for i in range(rounds):
+        cache.put(query, radius=float(tag), seconds=0.001 * i, perf=None)
+
+
+class TestShardLocking:
+    def test_two_processes_hammering_one_shard(self, tmp_path):
+        """200 interleaved cross-process writes to one shard: every read
+        mid-hammer parses, the final entry is one writer's complete
+        payload, and no temp files leak."""
+        cache_dir = str(tmp_path / "cache")
+        key = "ab" + "0" * 62  # both writers land in shard ab/
+        context = multiprocessing.get_context("fork")
+        children = [
+            context.Process(target=_hammer,
+                            args=(cache_dir, key, tag, 100))
+            for tag in (1.0, 2.0)
+        ]
+        for child in children:
+            child.start()
+
+        # Lock-free reads race the writers: a torn entry would raise a
+        # "discarding corrupt result cache entry" warning and read None
+        # after the first write exists.
+        cache = ResultCache(cache_dir)
+        query = _StubQuery(key)
+        saw_payload = False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            while any(child.is_alive() for child in children):
+                payload = cache.get(query)
+                if payload is not None:
+                    saw_payload = True
+                    assert payload["radius"] in (1.0, 2.0)
+                time.sleep(0.001)
+        for child in children:
+            child.join()
+            assert child.exitcode == 0
+
+        final = cache.get(query)
+        assert saw_payload and final is not None
+        assert final["radius"] in (1.0, 2.0)
+        shard = os.path.join(cache_dir, "ab")
+        leftovers = [name for name in os.listdir(shard)
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_put_blocks_while_shard_lock_is_held(self, tmp_path):
+        """A held shard lock delays put() — the advisory lock is real."""
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        query = _StubQuery("cd" + "0" * 62)
+        cache.put(query, radius=1.0, seconds=0.0, perf=None)  # creates shard
+
+        shard = os.path.join(cache_dir, "cd")
+        hold = 0.3
+
+        def _holder():
+            with open(os.path.join(shard, ".lock"), "a+") as lock_file:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+                time.sleep(hold)
+
+        context = multiprocessing.get_context("fork")
+        holder = context.Process(target=_holder)
+        holder.start()
+        time.sleep(0.05)  # let the child grab the lock first
+        start = time.monotonic()
+        cache.put(query, radius=2.0, seconds=0.0, perf=None)
+        waited = time.monotonic() - start
+        holder.join()
+        assert waited >= hold * 0.5, \
+            f"put() returned in {waited:.3f}s despite a held shard lock"
+        assert cache.get(query)["radius"] == 2.0
+
+    def test_reads_never_take_the_lock(self, tmp_path):
+        """get() proceeds while the shard lock is held by someone else."""
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        query = _StubQuery("ef" + "0" * 62)
+        cache.put(query, radius=3.0, seconds=0.0, perf=None)
+        with open(os.path.join(cache_dir, "ef", ".lock"), "a+") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            start = time.monotonic()
+            payload = cache.get(query)
+            assert time.monotonic() - start < 0.2
+        assert payload["radius"] == 3.0
+
+    def test_lock_file_never_mistaken_for_an_entry(self, tmp_path):
+        """The shard's .lock bookkeeping file is invisible to lookups."""
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        query = _StubQuery("01" + "0" * 62)
+        cache.put(query, radius=4.0, seconds=0.0, perf=None)
+        entry = os.path.join(cache_dir, "01", query.key() + ".json")
+        with open(entry) as f:
+            assert json.load(f)["radius"] == 4.0
+        assert os.path.exists(os.path.join(cache_dir, "01", ".lock"))
+        assert cache.get(_StubQuery(".loc" + "0" * 60)) is None

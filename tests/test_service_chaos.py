@@ -4,10 +4,15 @@ Extends the ``repro.faults`` harness into the serving path: an injected
 worker death or stall mid-request must resolve every waiter with a
 degraded-or-error payload — never a hang — a garbled cache shard must
 self-heal on recompute, and a restart over the run journal must answer
-previously completed queries without recomputation.
+previously completed queries without recomputation. The supervised-pool
+battery at the bottom replays the same faults against the multi-process
+executor: a killed worker requeues its lease, a poison query quarantines
+to the IBP floor under its rewritten key, and a drain resolves every
+accepted waiter.
 """
 
 import asyncio
+import multiprocessing
 
 import pytest
 
@@ -217,3 +222,136 @@ class TestJournalRestart:
             assert body["radius"] == radius
         assert counters["result_hits"] == 2
         assert "executed_queries" not in counters
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="supervised pool requires the fork start method")
+class TestSupervisedPool:
+    """The same chaos, against the multi-process supervised executor."""
+
+    @staticmethod
+    def _config(**overrides):
+        kwargs = dict(workers=2, batch_window=0.0, query_timeout=60.0,
+                      lease_timeout=10.0, heartbeat_interval=0.1)
+        kwargs.update(overrides)
+        return ServiceConfig(**kwargs)
+
+    def test_worker_killed_mid_lease_is_requeued_exactly_once(
+            self, tiny_model, sentences):
+        """An injected worker death requeues the lease onto a respawned
+        worker; the waiter gets the full-precision answer, not a rescue."""
+        payload = submission(sentences[0])
+        plan = FaultPlan(kind="kill-worker", probability=1.0, max_faults=1)
+
+        async def main():
+            async with serving(tiny_model,
+                               config=self._config()) as (service, client):
+                with install_fault_plan(plan):
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    status, done = await client.wait(ack["key"],
+                                                     timeout=60)
+                assert service.metrics_payload()["supervisor"] is not None
+                return status, done, service.metrics_payload()
+
+        status, done, metrics = asyncio.run(main())
+        assert status == 200
+        assert done["status"] == "done"
+        assert done["source"] == "worker-retry"
+        assert done["degraded"] is False  # a clean retry, not a rescue
+        query, _ = parse_submission(payload,
+                                    model_weight_hash(tiny_model))
+        assert done["radius"] == execute_query(tiny_model, query)[0]
+        assert metrics["counters"]["requeued_leases_served"] == 1
+        supervisor = metrics["supervisor"]
+        assert supervisor["worker_deaths"] == 1
+        assert supervisor["requeued_leases"] == 1
+        assert supervisor["respawns"] == 1
+        assert supervisor["poisoned_queries"] == 0
+
+    def test_poison_query_quarantined_under_rewritten_key(
+            self, tiny_model, sentences, tmp_path):
+        """A query that keeps killing workers is answered from the IBP
+        floor, cached/journaled only under its rewritten twin key."""
+        cache_dir = str(tmp_path / "cache")
+        payload = submission(sentences[1])
+        query, _ = parse_submission(payload,
+                                    model_weight_hash(tiny_model))
+        plan = FaultPlan(kind="kill-worker", probability=0.0, max_faults=0,
+                        poison_key=query.key())
+
+        async def main():
+            async with serving(tiny_model, config=self._config(),
+                               cache_dir=cache_dir) as (service, client):
+                with install_fault_plan(plan):
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    status, done = await client.wait(ack["key"],
+                                                     timeout=60)
+                return status, done, service.metrics_payload()
+
+        status, done, metrics = asyncio.run(main())
+        assert status == 200
+        assert done["status"] == "done"
+        assert done["source"] == "poisoned"
+        assert done["degraded"] is True
+        assert done["qos_rung"] == "ibp"
+        assert "PoisonedQueryError" in done["fault"]
+        assert metrics["counters"]["poisoned_queries"] == 1
+        assert metrics["supervisor"]["poisoned_queries"] == 1
+
+        # Impersonation rule: nothing under the full-precision key; the
+        # quarantined radius lives only under the rewritten IBP twin.
+        cache = ResultCache(cache_dir)
+        assert cache.get(query) is None
+        twin_entry = cache.get(degrade_query(query, "ibp"))
+        assert twin_entry is not None
+        assert twin_entry["degraded"] is True
+        assert twin_entry["radius"] == done["radius"]
+
+    def test_drain_resolves_every_accepted_waiter(self, tiny_model,
+                                                  sentences):
+        """POST /drain mid-flight: every accepted query settles (done or
+        typed ``drained`` error — zero hangs), later submissions get a
+        typed 503, and the drain telemetry surfaces in /metrics."""
+        payloads = [submission(s) for s in sentences]
+
+        async def main():
+            config = self._config(drain_timeout=30.0)
+            async with serving(tiny_model, config=config) as (service,
+                                                              client):
+                keys = []
+                for payload in payloads:
+                    status, ack = await client.submit(payload)
+                    assert status == 202
+                    keys.append(ack["key"])
+                status, report = await client.request("POST", "/drain")
+                assert status == 200
+
+                # Every accepted waiter settles; wait() raising would be
+                # the hang this battery exists to rule out.
+                settled = []
+                for key in keys:
+                    status, body = await client.wait(key, timeout=30)
+                    assert status == 200
+                    settled.append(body)
+
+                status, refused = await client.submit(
+                    submission(sentences[0], n_iterations=1))
+                return report, settled, (status, refused), \
+                    service.metrics_payload()
+
+        report, settled, (status, refused), metrics = asyncio.run(main())
+        assert report["status"] == "drained"
+        assert report["results_held"] == len(payloads)
+        for body in settled:
+            assert body["status"] in ("done", "error")
+            if body["status"] == "error":
+                assert body["code"] == "drained"
+        assert status == 503
+        assert refused["code"] == "draining"
+        assert metrics["draining"] is True
+        assert metrics["drain_seconds"] is not None
+        assert metrics["counters"]["drains"] == 1
+        assert metrics["counters"]["rejected_draining"] == 1
