@@ -1,0 +1,206 @@
+"""Adaptive-refinement benchmark: trace-guided escalation vs the ladder ends.
+
+Runs the same maximal-radius searches (binary search per input) three ways
+on one model:
+
+1. **fast**     — plain DeepT-Fast (the escalation's floor);
+2. **adaptive** — :class:`repro.verify.AdaptiveVerifier`: DeepT-Fast
+   first, trace-ranked selective refinement on failure, cached certified
+   plan reused across the search's probes;
+3. **precise**  — the escalation's ceiling (every layer on Precise dot
+   products, boosted DecorrelateMin_k budgets, softmax-sum refinement
+   forced) run directly as a plain DeepT configuration.
+
+Gates, asserted here *and* in ``python -m repro.experiments report
+--check`` via ``BENCH_adaptive.json``:
+
+* the adaptive radius is >= the fast radius on **every** input;
+* on inputs where Fast falls short of Precise, adaptive matches the full
+  Precise radius on >= 80% of them;
+* total adaptive wall-clock is <= 50% of the Precise wall-clock;
+* on a fast-certifiable probe the adaptive result is bitwise identical to
+  plain DeepT-Fast (same margin, empty plan).
+
+Results land in ``benchmarks/results/BENCH_adaptive.json``.
+
+Run standalone (not through pytest):
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.nlp import make_corpus
+from repro.nn import TransformerClassifier, train_transformer
+from repro.verify import (AdaptiveVerifier, DeepTVerifier, FAST,
+                          max_certified_radius, word_perturbation_region)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+# Regression gates (identical in quick and full mode — they are ratios of
+# the same workload, not absolute timings).
+MIN_PRECISE_MATCH_FRACTION = 0.8
+MAX_WALLCLOCK_RATIO = 0.5
+
+
+def _model_and_inputs(quick):
+    """A small trained transformer plus (sentence, position) inputs."""
+    corpus = make_corpus("sst-small", n_train=160, n_test=40, seed=1)
+    model = TransformerClassifier(len(corpus.vocab), embed_dim=8, n_heads=2,
+                                  hidden_dim=8, n_layers=2, max_len=16,
+                                  seed=0)
+    train_transformer(model, corpus.train_sequences, corpus.train_labels,
+                      epochs=6, lr=2e-3)
+    sentences = [s for s, label in zip(corpus.test_sequences,
+                                       corpus.test_labels)
+                 if len(s) <= 8 and model.predict(s) == int(label)]
+    inputs = []
+    for sentence in sentences:
+        for position in (1, 2):
+            if position < len(sentence):
+                inputs.append((sentence, position))
+    return model, inputs[:3 if quick else 6]
+
+
+def _timed_search(verifier, sentence, position, p, label, n_iterations):
+    start = time.perf_counter()
+    radius = max_certified_radius(verifier, sentence, position, p,
+                                  true_label=label,
+                                  n_iterations=n_iterations)
+    return radius, time.perf_counter() - start
+
+
+def run_benchmark(quick=False):
+    p = 2.0
+    n_iterations = 4 if quick else 5
+    model, inputs = _model_and_inputs(quick)
+    base = FAST(noise_symbol_cap=16 if quick else 24,
+                softmax_sum_refinement=False)
+    ceiling_config = AdaptiveVerifier(model, base).ceiling_config()
+
+    rows = []
+    fast_total = adaptive_total = precise_total = 0.0
+    parity_max_diff = 0.0
+    for sentence, position in inputs:
+        label = model.predict(sentence)
+        fast_v = DeepTVerifier(model, base)
+        adaptive_v = AdaptiveVerifier(model, base)  # fresh plan cache
+        precise_v = DeepTVerifier(model, ceiling_config)
+
+        r_fast, t_fast = _timed_search(fast_v, sentence, position, p,
+                                       label, n_iterations)
+        r_adaptive, t_adaptive = _timed_search(adaptive_v, sentence,
+                                               position, p, label,
+                                               n_iterations)
+        r_precise, t_precise = _timed_search(precise_v, sentence, position,
+                                             p, label, n_iterations)
+        fast_total += t_fast
+        adaptive_total += t_adaptive
+        precise_total += t_precise
+
+        # Bitwise fast parity on a healthy fast-certifiable probe: the
+        # certified fast radius itself (skipped when even tiny radii fail).
+        if r_fast > 0.0:
+            region = word_perturbation_region(model, sentence, position,
+                                              r_fast, p)
+            plain = fast_v.certify_region(region, label)
+            refined = adaptive_v.certify_region(region, label)
+            assert plain.certified and refined.certified
+            assert refined.plan == (), \
+                "fast-certified input took a refinement plan"
+            parity_max_diff = max(
+                parity_max_diff,
+                abs(refined.margin_lower - plain.margin_lower))
+
+        rows.append({
+            "tokens": len(sentence), "position": position,
+            "fast_radius": r_fast, "adaptive_radius": r_adaptive,
+            "precise_radius": r_precise,
+            "fast_seconds": t_fast, "adaptive_seconds": t_adaptive,
+            "precise_seconds": t_precise,
+        })
+        print(f"len={len(sentence)} pos={position}: "
+              f"radius fast={r_fast:.4f} adaptive={r_adaptive:.4f} "
+              f"precise={r_precise:.4f} | seconds fast={t_fast:.2f} "
+              f"adaptive={t_adaptive:.2f} precise={t_precise:.2f}")
+
+    radius_ok = all(row["adaptive_radius"] >= row["fast_radius"]
+                    for row in rows)
+    gaps = [row for row in rows
+            if row["fast_radius"] < row["precise_radius"]]
+    matches = [row for row in gaps
+               if row["adaptive_radius"] == row["precise_radius"]]
+    match_fraction = len(matches) / len(gaps) if gaps else 1.0
+    wallclock_ratio = adaptive_total / max(precise_total, 1e-12)
+
+    assert radius_ok, "adaptive radius fell below DeepT-Fast on an input"
+    assert gaps, ("workload produced no Fast-vs-Precise gap — the bench "
+                  "would gate nothing; widen the workload")
+    assert match_fraction >= MIN_PRECISE_MATCH_FRACTION, \
+        (f"adaptive matched the Precise radius on only "
+         f"{match_fraction:.0%} of gap inputs "
+         f"(floor {MIN_PRECISE_MATCH_FRACTION:.0%})")
+    assert wallclock_ratio <= MAX_WALLCLOCK_RATIO, \
+        (f"adaptive wall-clock is {wallclock_ratio:.0%} of Precise "
+         f"(ceiling {MAX_WALLCLOCK_RATIO:.0%})")
+    assert parity_max_diff == 0.0, \
+        "fast-certified margins not bitwise identical to DeepT-Fast"
+
+    print(f"gates: radius_ok={radius_ok}, precise match "
+          f"{len(matches)}/{len(gaps)} gap inputs "
+          f"({match_fraction:.0%}), wall-clock "
+          f"{wallclock_ratio:.0%} of precise, fast-parity max |diff| "
+          f"{parity_max_diff:.1e}")
+
+    return {
+        "benchmark": "adaptive_refinement",
+        "model": "sst-small 8d L2",
+        "n_inputs": len(rows),
+        "n_iterations": n_iterations,
+        "rows": rows,
+        "radius_ok": bool(radius_ok),
+        "n_gap_inputs": len(gaps),
+        "precise_match_fraction": float(match_fraction),
+        "min_precise_match_fraction": MIN_PRECISE_MATCH_FRACTION,
+        "fast_seconds": float(fast_total),
+        "adaptive_seconds": float(adaptive_total),
+        "precise_seconds": float(precise_total),
+        "wallclock_ratio": float(wallclock_ratio),
+        "max_wallclock_ratio": MAX_WALLCLOCK_RATIO,
+        "fast_parity_max_abs_diff": float(parity_max_diff),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke mode)")
+    parser.add_argument("--out", default=os.path.join(
+        RESULTS_DIR, "BENCH_adaptive.json"))
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(quick=args.quick)
+    result["quick"] = args.quick
+    result["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2)
+
+    print(f"adaptive: {result['precise_match_fraction']:.0%} precise-radius "
+          f"match on {result['n_gap_inputs']} gap inputs at "
+          f"{result['wallclock_ratio']:.0%} of precise wall-clock")
+    print(f"wrote {args.out}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

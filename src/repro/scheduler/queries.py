@@ -69,10 +69,16 @@ class CertQuery:
     Attributes
     ----------
     verifier:
-        ``"deept"`` (Multi-norm Zonotope), ``"crown"`` (linear-bounds
+        ``"deept"`` (Multi-norm Zonotope), ``"adaptive"`` (DeepT with the
+        trace-guided fast -> selectively-precise escalation of
+        :mod:`repro.verify.refine`), ``"crown"`` (linear-bounds
         baseline) or ``"ibp"`` (pure interval propagation — the
         degradation ladder's floor, used by the certification service as
-        its deepest quality-of-service rung).
+        its deepest quality-of-service rung). Adaptive queries never
+        share a ``batch_key`` with plain deept queries (the verifier
+        field is part of the key) and the scheduler runs them solo — the
+        escalation diverges per query, so there is no stacked pass to
+        coalesce into.
     model_hash / corpus_fingerprint:
         Content hashes tying the query to specific weights and sentences.
     sentence:
@@ -99,7 +105,7 @@ class CertQuery:
     n_iterations: int = 12
 
     def __post_init__(self):
-        if self.verifier not in ("deept", "crown", "ibp"):
+        if self.verifier not in ("deept", "adaptive", "crown", "ibp"):
             raise ValueError(f"unknown verifier {self.verifier!r}")
 
     def key(self):
@@ -140,12 +146,13 @@ def expand_word_queries(model, sentences, p, *, verifier="deept",
 
     One query per (sentence, perturbed position); positions follow the
     harness protocol (:func:`positions_for`, [CLS] excluded). For
-    ``verifier="deept"`` pass the :class:`VerifierConfig`; for
-    ``verifier="crown"`` pass ``backsub_depth``.
+    ``verifier="deept"`` / ``"adaptive"`` pass the
+    :class:`VerifierConfig`; for ``verifier="crown"`` pass
+    ``backsub_depth``.
     """
-    if verifier == "deept":
+    if verifier in ("deept", "adaptive"):
         if config is None:
-            raise ValueError("deept queries need a VerifierConfig")
+            raise ValueError(f"{verifier} queries need a VerifierConfig")
         config_items = verifier_config_items(config)
     elif verifier == "crown":
         if backsub_depth is None:

@@ -117,11 +117,17 @@ class AdmissionController:
 
 
 def rung_for_query(query):
-    """The QoS rung a query is already at (used to report, not decide)."""
+    """The QoS rung a query is already at (used to report, not decide).
+
+    An ``"adaptive"`` query is "full" work: its floor is DeepT-Fast, but
+    the escalation may run full-precise passes, which is exactly the
+    spend the fast rung sheds.
+    """
     if query.verifier == "ibp":
         return "ibp"
     if query.verifier == "deept" \
-            and dict(query.config).get("dot_product_variant") == "fast":
+            and dict(query.config).get("dot_product_variant") == "fast" \
+            and not dict(query.config).get("refinement_plan"):
         return "fast"
     return "full"
 
@@ -141,12 +147,16 @@ def degrade_query(query, rung):
         return query
     if rung == "ibp":
         return dataclasses.replace(query, verifier="ibp")
-    # rung == "fast": only meaningful for deept queries above "fast".
-    if query.verifier != "deept":
+    # rung == "fast": meaningful for deept queries above "fast" and for
+    # adaptive queries (drop the escalation to its DeepT-Fast floor).
+    if query.verifier not in ("deept", "adaptive"):
         return query
     config = dict(query.config)
-    if config.get("dot_product_variant") == "fast":
+    if query.verifier == "deept" \
+            and config.get("dot_product_variant") == "fast" \
+            and not config.get("refinement_plan"):
         return query
     config["dot_product_variant"] = "fast"
-    return dataclasses.replace(query,
+    config["refinement_plan"] = ()
+    return dataclasses.replace(query, verifier="deept",
                                config=tuple(sorted(config.items())))

@@ -4,7 +4,10 @@ Certifies the cached ``sst-small`` 2-layer checkpoint (trained once,
 committed in ``.model_cache/``) at fixed radii for p in {1, 2, inf} with
 the tracer enabled, aggregates the trace per (layer, op), and compares the
 resulting margins and interval widths against the committed snapshot
-``tests/golden_bounds.json``.
+``tests/golden_bounds.json``. The snapshot also carries an ``adaptive``
+section pinning the trace-guided escalation on the same checkpoint: its
+fast path, an in-gap refined certification (decision, margin, derived
+plan, round count) and an uncertified answer's ceiling margin.
 
 The engine is deterministic for fixed weights, so the tolerance is tight
 (``RTOL = 1e-6``, covering BLAS summation-order differences across
@@ -25,7 +28,8 @@ import numpy as np
 import pytest
 
 from repro.trace import TRACER, aggregate_spans
-from repro.verify import DeepTVerifier, FAST, word_perturbation_region
+from repro.verify import (AdaptiveVerifier, DeepTVerifier, FAST,
+                          word_perturbation_region)
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_bounds.json")
 RTOL = 1e-6
@@ -39,6 +43,21 @@ CASES = [
 ]
 N_LAYERS = 2
 POSITION = 1
+
+# Adaptive-mode snapshot: the same checkpoint through the trace-guided
+# escalation at radii pinning its three behaviors — the fast path (plan
+# stays empty, margin bitwise equal to plain DeepT-Fast), an in-gap
+# radius DeepT-Fast rejects but the derived plan certifies, and a radius
+# even the ceiling rejects (the answer carries the ceiling's margin).
+ADAPTIVE_CASES = [
+    ("fastpath", 2.0, 0.05),
+    ("refined", 2.0, 0.33),
+    ("uncertified", 2.0, 0.34),
+]
+
+
+def _adaptive_base():
+    return FAST(noise_symbol_cap=24, softmax_sum_refinement=False)
 
 
 def _reference_setup():
@@ -75,6 +94,28 @@ def compute_golden():
             "margin_lower": float(result.margin_lower),
             "groups": groups,
         }
+
+    payload["adaptive"] = {}
+    for label, p, radius in ADAPTIVE_CASES:
+        region = word_perturbation_region(model, list(sentence), POSITION,
+                                          radius, p)
+        # Fresh verifier per case: the snapshot pins the full escalation,
+        # not a cached-plan shortcut.
+        result = AdaptiveVerifier(model, _adaptive_base()).certify_region(
+            region, true_label)
+        entry = {
+            "p": p if np.isfinite(p) else "inf",
+            "radius": radius,
+            "certified": bool(result.certified),
+            "margin_lower": float(result.margin_lower),
+            "plan": [list(e) for e in result.plan],
+            "refinement_rounds": int(result.refinement_rounds),
+        }
+        if label == "fastpath":
+            plain = DeepTVerifier(model, _adaptive_base()).certify_region(
+                region, true_label)
+            entry["fast_margin_lower"] = float(plain.margin_lower)
+        payload["adaptive"][label] = entry
     return payload
 
 
@@ -128,6 +169,42 @@ class TestGoldenBounds:
         assert layers == set(range(N_LAYERS + 1))
 
 
+class TestGoldenAdaptive:
+    """Adaptive-mode snapshot: decisions, margins, the derived plan and
+    the round count are all pinned — an escalation-heuristic change that
+    moves any of them must regenerate the snapshot deliberately."""
+
+    def test_same_workload(self, golden, current):
+        assert "adaptive" in golden, \
+            "snapshot predates the adaptive section; regenerate it"
+        assert sorted(golden["adaptive"]) == sorted(current["adaptive"])
+
+    @pytest.mark.parametrize("label", [c[0] for c in ADAPTIVE_CASES])
+    def test_adaptive_case_matches(self, golden, current, label):
+        old = golden["adaptive"][label]
+        new = current["adaptive"][label]
+        assert old["certified"] == new["certified"]
+        assert new["margin_lower"] == pytest.approx(old["margin_lower"],
+                                                    rel=RTOL, abs=1e-12)
+        assert old["plan"] == new["plan"]
+        assert old["refinement_rounds"] == new["refinement_rounds"]
+
+    def test_fastpath_bitwise_equals_plain_fast(self, current):
+        entry = current["adaptive"]["fastpath"]
+        assert entry["certified"] and entry["plan"] == []
+        assert entry["refinement_rounds"] == 0
+        assert entry["margin_lower"] == entry["fast_margin_lower"]
+
+    def test_case_shapes(self, current):
+        refined = current["adaptive"]["refined"]
+        assert refined["certified"] and refined["plan"]
+        assert refined["refinement_rounds"] >= 1
+        uncertified = current["adaptive"]["uncertified"]
+        assert not uncertified["certified"]
+        assert uncertified["plan"], \
+            "uncertified answers report the ceiling plan they exhausted"
+
+
 def main():
     import argparse
 
@@ -144,7 +221,8 @@ def main():
         f.write("\n")
     n_groups = sum(len(c["groups"]) for c in payload["cases"].values())
     print(f"wrote {GOLDEN_PATH}: {len(payload['cases'])} cases, "
-          f"{n_groups} (layer, op) groups")
+          f"{n_groups} (layer, op) groups, "
+          f"{len(payload['adaptive'])} adaptive cases")
 
 
 if __name__ == "__main__":

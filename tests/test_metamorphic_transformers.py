@@ -219,3 +219,62 @@ class TestSoftmaxRange:
         assert np.all(np.isfinite(lower)) and np.all(np.isfinite(upper))
         assert np.all(lower >= -1e-6)
         assert np.all(upper <= 1.0 + 1e-6)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("p", NORMS)
+class TestRefinementPlanMetamorphic:
+    """Relations every correct :class:`RefinementPlan` wiring must satisfy
+    on whole-transformer propagations (the per-plan soundness itself is
+    fuzzed in ``test_soundness_fuzz.TestRefinementPlanFuzz``)."""
+
+    def _setup(self, seed, p):
+        from repro.nn import TransformerClassifier
+        from repro.verify import FAST, word_perturbation_region
+
+        rng = np.random.default_rng((seed, 71))
+        model = TransformerClassifier(40, embed_dim=8, n_heads=2,
+                                      hidden_dim=8, n_layers=3, max_len=12,
+                                      seed=seed)
+        tokens = [int(t) for t in rng.integers(1, 40, size=6)]
+        region = word_perturbation_region(model, tokens, 1, 0.3, p)
+        base = FAST(noise_symbol_cap=16, softmax_sum_refinement=False)
+        return rng, model, region, base
+
+    def test_superset_plan_never_widens(self, seed, p):
+        """Refining a superset of layers (with caps at least as large)
+        never widens any final bound (same width idiom as
+        :class:`TestFastVsPrecise`)."""
+        from dataclasses import replace
+
+        from repro.verify import propagate_classifier
+
+        rng, model, region, base = self._setup(seed, p)
+        layer = int(rng.integers(0, 3))
+        small = replace(base, refinement_plan=(("precise", layer),))
+        big = replace(base, refinement_plan=(
+            ("precise", 0), ("precise", 1), ("precise", 2),
+            ("cap", layer, 32), ("softmax", layer)))
+
+        lo_small, up_small = propagate_classifier(model, region,
+                                                  small).bounds()
+        lo_big, up_big = propagate_classifier(model, region, big).bounds()
+        assert np.all(up_big - lo_big <= up_small - lo_small + 1e-9)
+
+    def test_zero_layer_plan_bitwise_identical_to_fast(self, seed, p):
+        """The empty plan — and a plan naming only out-of-range layers —
+        must leave the propagation bitwise identical to plain DeepT-Fast:
+        the plan machinery is free until a real layer is named."""
+        from dataclasses import replace
+
+        from repro.verify import propagate_classifier
+
+        _, model, region, base = self._setup(seed, p)
+        plain = propagate_classifier(model, region, base)
+        for plan in ((), (("precise", 7), ("cap", 9, 64), ("softmax", 5))):
+            planned = propagate_classifier(
+                model, region, replace(base, refinement_plan=plan))
+            lo_a, up_a = plain.bounds()
+            lo_b, up_b = planned.bounds()
+            assert np.array_equal(lo_a, lo_b)
+            assert np.array_equal(up_a, up_b)
